@@ -1,0 +1,124 @@
+//! Coding-layer benchmarks, including the paper's key design ablation:
+//! delta-based parity updates (the put path, Section 3.2 "Update")
+//! versus re-encoding the whole stripe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ring_erasure::{Rs, SrsCode};
+
+fn object(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 + 7) as u8).collect()
+}
+
+fn rs_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_encode");
+    for size in [1usize << 10, 1 << 14, 1 << 18] {
+        let obj = object(size);
+        for (k, m) in [(3usize, 2usize), (5, 2), (7, 3)] {
+            let rs = Rs::new(k, m).expect("valid params");
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("RS({k},{m})"), size),
+                &size,
+                |b, _| b.iter(|| rs.encode_object(&obj).expect("encode")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn rs_reconstruct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_reconstruct");
+    let rs = Rs::new(3, 2).expect("valid params");
+    for size in [1usize << 10, 1 << 16] {
+        let stripe = rs.encode_object(&object(size)).expect("encode");
+        let all: Vec<Vec<u8>> = stripe
+            .data
+            .iter()
+            .chain(stripe.parity.iter())
+            .cloned()
+            .collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("two_losses", size), &size, |b, _| {
+            b.iter(|| {
+                let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+                shards[0] = None;
+                shards[4] = None;
+                rs.reconstruct(&mut shards).expect("reconstruct");
+                shards
+            })
+        });
+    }
+    group.finish();
+}
+
+fn srs_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srs");
+    let code = SrsCode::new(3, 2, 6).expect("valid params");
+    for size in [1usize << 12, 1 << 16] {
+        let obj = object(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode_3_2_6", size), &size, |b, _| {
+            b.iter(|| code.encode_object(&obj).expect("encode"))
+        });
+        let enc = code.encode_object(&obj).expect("encode");
+        let parity: Vec<Option<Vec<u8>>> = enc.parity_nodes.iter().cloned().map(Some).collect();
+        group.bench_with_input(
+            BenchmarkId::new("recover_node_3_2_6", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let mut data: Vec<Option<Vec<u8>>> =
+                        enc.data_nodes.iter().cloned().map(Some).collect();
+                    data[2] = None;
+                    code.recover_data_node(2, &data, &parity).expect("recover")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation: updating one data block's parity via deltas vs re-encoding
+/// the entire stripe — the reason puts scale with the object size, not
+/// the stripe size.
+fn delta_vs_reencode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parity_update_ablation");
+    let rs = Rs::new(3, 2).expect("valid params");
+    for size in [1usize << 12, 1 << 16] {
+        let stripe = rs.encode_object(&object(size)).expect("encode");
+        let mut new_block = stripe.data[1].clone();
+        for b in new_block.iter_mut() {
+            *b ^= 0x5A;
+        }
+        group.throughput(Throughput::Bytes((size / 3) as u64));
+        group.bench_with_input(BenchmarkId::new("delta_update", size), &size, |b, _| {
+            b.iter(|| {
+                let delta = ring_gf::region::delta(&stripe.data[1], &new_block);
+                let mut parity = stripe.parity.clone();
+                for (p, block) in parity.iter_mut().enumerate() {
+                    let pd = rs.parity_delta(p, 1, &delta);
+                    Rs::apply_parity_delta(block, &pd);
+                }
+                parity
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_reencode", size), &size, |b, _| {
+            b.iter(|| {
+                let mut data = stripe.data.clone();
+                data[1] = new_block.clone();
+                let refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+                rs.encode(&refs).expect("encode")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    rs_encode,
+    rs_reconstruct,
+    srs_ops,
+    delta_vs_reencode
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Microbenchmarks of the GF(2^8) substrate: the region operations that
+//! dominate encode/decode cost, and the matrix routines used at code
+//! construction and recovery time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ring_gf::{region, Gf256, Matrix};
+
+fn region_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_region");
+    for size in [1usize << 10, 1 << 14, 1 << 18] {
+        let src: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        let mut dst = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("xor_into", size), &size, |b, _| {
+            b.iter(|| region::xor_into(&mut dst, &src));
+        });
+        group.bench_with_input(BenchmarkId::new("mul_acc", size), &size, |b, _| {
+            b.iter(|| region::mul_acc(&mut dst, &src, Gf256(0x1D)));
+        });
+        group.bench_with_input(BenchmarkId::new("mul_into", size), &size, |b, _| {
+            b.iter(|| region::mul_into(&mut dst, &src, Gf256(0x1D)));
+        });
+    }
+    group.finish();
+}
+
+fn matrix_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf_matrix");
+    for n in [4usize, 8, 16] {
+        let m = Matrix::vandermonde(n, n);
+        group.bench_with_input(BenchmarkId::new("invert", n), &n, |b, _| {
+            b.iter(|| m.invert().expect("invertible"));
+        });
+    }
+    group.bench_function("systematic_3_2", |b| b.iter(|| Matrix::systematic(3, 2)));
+    group.bench_function("systematic_7_5", |b| b.iter(|| Matrix::systematic(7, 5)));
+    group.finish();
+}
+
+criterion_group!(benches, region_ops, matrix_ops);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! End-to-end KVS operation benchmarks on an in-process cluster with no
+//! injected wire latency: isolates the protocol-processing cost of each
+//! storage scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ring_kvs::{Cluster, ClusterSpec};
+use ring_net::LatencyModel;
+
+fn cluster() -> Cluster {
+    Cluster::start(ClusterSpec {
+        latency: LatencyModel::instant(),
+        ..ClusterSpec::paper_evaluation()
+    })
+}
+
+fn put_per_scheme(c: &mut Criterion) {
+    let cl = cluster();
+    let mut client = cl.client();
+    let value = vec![0x42u8; 1024];
+    let mut group = c.benchmark_group("kvs_put_1k");
+    let mut key = 0u64;
+    for (mid, label) in [(0u32, "REP1"), (2, "REP3"), (6, "SRS32")] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mid, |b, &mid| {
+            b.iter(|| {
+                key += 1;
+                client.put_to(key, &value, mid).expect("put")
+            })
+        });
+    }
+    group.finish();
+    drop(client);
+    cl.shutdown();
+}
+
+fn get_and_move(c: &mut Criterion) {
+    let cl = cluster();
+    let mut client = cl.client();
+    let value = vec![0x42u8; 1024];
+    for k in 0..256u64 {
+        client.put_to(k, &value, (k % 7) as u32).expect("preload");
+    }
+    let mut group = c.benchmark_group("kvs_misc");
+    let mut k = 0u64;
+    group.bench_function("get_1k", |b| {
+        b.iter(|| {
+            k += 1;
+            client.get(k % 256).expect("get")
+        })
+    });
+    let mut mv = 0u64;
+    group.bench_function("move_rep3_to_srs32", |b| {
+        b.iter(|| {
+            mv += 1;
+            let key = 10_000 + mv;
+            client.put_to(key, &value, 2).expect("put");
+            client.move_key(key, 6).expect("move")
+        })
+    });
+    group.finish();
+    drop(client);
+    cl.shutdown();
+}
+
+criterion_group!(benches, put_per_scheme, get_and_move);
+criterion_main!(benches);

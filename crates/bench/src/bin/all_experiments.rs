@@ -1,0 +1,54 @@
+//! Runs every table/figure binary in sequence (forwarding `--quick`),
+//! regenerating the full `results/` directory used by EXPERIMENTS.md.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1",
+    "fig2_reliability",
+    "fig7_latency",
+    "fig7c_baselines",
+    "fig8_move",
+    "fig9_throughput",
+    "fig10_pricing",
+    "fig11_mixes",
+    "fig12_recovery",
+    "fig13_block_recovery",
+    "fig16_availability",
+    "balance_ablation",
+    "spc_replay",
+];
+
+fn main() {
+    let quick = ring_bench::quick_mode();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failed = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n######## {name} ########");
+        let mut cmd = Command::new(exe_dir.join(name));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failed.push(*name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to start: {e} (build with `cargo build -p ring-bench --bins --release` first)");
+                failed.push(*name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll {} experiments completed.", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Section 5.4 ablation: memory and load balance with 1 memgest group
+//! versus `s + d` rotated groups.
+//!
+//! Prints the analytical per-node storage weights (what Figure 3's
+//! unfilled rectangles depict) and then measures actual per-node message
+//! load under a mixed workload on real clusters with both settings.
+
+use std::time::Duration;
+
+use ring_bench::output::{header, write_json};
+use ring_bench::quick_mode;
+use ring_kvs::balance::{role_mix, storage_balance};
+use ring_kvs::{Cluster, ClusterSpec, Scheme};
+use ring_workload::{KeyDistribution, WorkloadGen, WorkloadSpec};
+
+#[derive(serde::Serialize)]
+struct Row {
+    groups: usize,
+    node: u32,
+    storage_weight: f64,
+    coordinated_shards: usize,
+    redundancy_slots: usize,
+    msgs_received: u64,
+    measured_bytes: usize,
+}
+
+fn paper_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Rep { r: 1 },
+        Scheme::Rep { r: 2 },
+        Scheme::Rep { r: 3 },
+        Scheme::Rep { r: 4 },
+        Scheme::Srs { k: 2, m: 1 },
+        Scheme::Srs { k: 3, m: 1 },
+        Scheme::Srs { k: 3, m: 2 },
+    ]
+}
+
+fn main() {
+    let ops = if quick_mode() { 2_000 } else { 20_000 };
+    let mut rows = Vec::new();
+    header(
+        "Section 5.4 ablation: per-node balance, 1 group vs s + d groups",
+        &[
+            "groups",
+            "node",
+            "storage_w",
+            "coord",
+            "redund",
+            "msgs",
+            "bytes",
+        ],
+    );
+    for groups in [1usize, 5] {
+        let spec = ClusterSpec {
+            groups,
+            ..ClusterSpec::paper_evaluation()
+        };
+        let cluster = Cluster::start(spec);
+        let analytical = storage_balance(cluster.config(), &paper_schemes());
+
+        // Drive a mixed workload and sample per-node message counts.
+        let mut client = cluster.client();
+        let mut gen = WorkloadGen::new(
+            WorkloadSpec {
+                key_count: 2_000,
+                value_len: 512,
+                get_ratio: 0.5,
+                distribution: KeyDistribution::Uniform,
+            },
+            11,
+        );
+        let value = vec![9u8; 512];
+        for op in gen.batch(ops) {
+            match op {
+                ring_workload::Op::Get { key } => {
+                    let _ = client.get(key);
+                }
+                ring_workload::Op::Put { key, .. } => {
+                    let mid = (key % 7) as u32;
+                    client.put_to(key, &value, mid).expect("put");
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+
+        let mut measured = Vec::new();
+        for (i, &node) in cluster.config().nodes.iter().enumerate() {
+            let (coords, redundants) = role_mix(cluster.config(), node);
+            let msgs = cluster
+                .fabric()
+                .stats_of(node)
+                .map(|s| s.msgs_received)
+                .unwrap_or(0);
+            let stats = client.node_stats(node).expect("stats");
+            let bytes = stats.data_bytes() + stats.redundancy_bytes();
+            measured.push(bytes as f64);
+            println!(
+                "{groups}\t{node}\t{:.3}\t{coords}\t{redundants}\t{msgs}\t{bytes}",
+                analytical.weights[i]
+            );
+            rows.push(Row {
+                groups,
+                node,
+                storage_weight: analytical.weights[i],
+                coordinated_shards: coords,
+                redundancy_slots: redundants,
+                msgs_received: msgs,
+                measured_bytes: bytes,
+            });
+        }
+        let max = measured.iter().copied().fold(0.0, f64::max);
+        let min = measured.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "groups={groups}: analytical storage imbalance = {:.2}x, measured = {:.2}x",
+            analytical.imbalance,
+            if min > 0.0 { max / min } else { f64::INFINITY }
+        );
+        cluster.shutdown();
+    }
+    write_json("balance_ablation", &rows);
+}

@@ -1,0 +1,97 @@
+//! Figure 10: normalised storage price of five SPC traces under the
+//! hot (Rep(3)), cold (SRS(3,2,3)) and simple (Rep(1)) schemes, using
+//! Azure Blob pricing (Feb 2018).
+//!
+//! Expected shape: for the put-heavy Financial1 trace cold ≈ 5.5x
+//! simple and ≈ 2x hot; the get-dominant WebSearch traces compress the
+//! three schemes together.
+//!
+//! The real SPC traces are proprietary; the cost model consumes their
+//! published aggregate statistics, and a synthetic-record cross-check
+//! validates that generated traces reproduce those statistics (see
+//! `ring_workload::spc`).
+
+use ring_bench::output::{header, write_json};
+use ring_workload::cost::{normalized_prices, CostBreakdown, SchemeClass};
+use ring_workload::spc::{synthesize, TraceStats, TRACES};
+
+#[derive(serde::Serialize)]
+struct Row {
+    trace: String,
+    scheme: String,
+    write: f64,
+    read: f64,
+    transfer: f64,
+    storage: f64,
+    relative_price: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    header(
+        "Figure 10: normalised storage price per trace and scheme",
+        &["trace", "scheme", "write", "read", "xfer", "storage", "rel"],
+    );
+    for profile in &TRACES {
+        let stats = TraceStats::from_profile(profile);
+        for (class, b, rel) in normalized_prices(&stats) {
+            print_row(profile.name, class, &b, rel);
+            rows.push(Row {
+                trace: profile.name.to_string(),
+                scheme: class.label().to_string(),
+                write: b.write,
+                read: b.read,
+                transfer: b.transfer,
+                storage: b.storage,
+                relative_price: rel,
+            });
+        }
+    }
+
+    // Cross-check: synthetic records must price within a few percent of
+    // the exact profile statistics.
+    println!("\nSynthetic-trace cross-check (relative price, hot scheme):");
+    for profile in &TRACES {
+        let exact = TraceStats::from_profile(profile);
+        let sample_n = 200_000usize;
+        let records = synthesize(profile, sample_n, 42);
+        let mut sampled = TraceStats {
+            footprint_gib: profile.footprint_gib,
+            ..TraceStats::default()
+        };
+        for r in &records {
+            sampled.add(r);
+        }
+        // Scale the sampled op counts up to the full trace size.
+        let scale = profile.requests as f64 / sample_n as f64;
+        sampled.reads = (sampled.reads as f64 * scale) as u64;
+        sampled.writes = (sampled.writes as f64 * scale) as u64;
+        sampled.read_bytes = (sampled.read_bytes as f64 * scale) as u64;
+        sampled.write_bytes = (sampled.write_bytes as f64 * scale) as u64;
+        sampled.duration_hours = profile.duration_hours;
+        let e = rel_of(&exact, SchemeClass::Hot);
+        let s = rel_of(&sampled, SchemeClass::Hot);
+        println!("{}\texact={e:.2}\tsynthetic={s:.2}", profile.name);
+    }
+
+    write_json("fig10_pricing", &rows);
+}
+
+fn rel_of(stats: &TraceStats, class: SchemeClass) -> f64 {
+    normalized_prices(stats)
+        .into_iter()
+        .find(|(c, _, _)| *c == class)
+        .map(|(_, _, rel)| rel)
+        .unwrap_or(0.0)
+}
+
+fn print_row(trace: &str, class: SchemeClass, b: &CostBreakdown, rel: f64) {
+    println!(
+        "{trace}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{rel:.2}x",
+        class.label(),
+        b.write,
+        b.read,
+        b.transfer,
+        b.storage
+    );
+}

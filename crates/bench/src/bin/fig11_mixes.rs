@@ -1,0 +1,64 @@
+//! Figure 11: single-client throughput under YCSB get:put mixes
+//! ((100:0), (95:5), (50:50), (0:100)) with Zipfian keys and 1 KiB
+//! values, for REP1, REP3, SRS21 and SRS32.
+//!
+//! Expected shape (Section 6.3): get-only throughput identical across
+//! memgests (gets share one code path); throughput drops as the put
+//! ratio rises; REP1 has the highest put-only rate with the others
+//! slightly below it.
+
+use std::time::Duration;
+
+use ring_bench::measure::mixed_throughput;
+use ring_bench::output::{header, kreq, write_json};
+use ring_bench::quick_mode;
+use ring_bench::workbench::{memgest_id, paper_cluster};
+use ring_workload::{KeyDistribution, WorkloadGen, WorkloadSpec};
+
+#[derive(serde::Serialize)]
+struct Row {
+    scheme: String,
+    get_ratio: f64,
+    req_per_sec: f64,
+}
+
+fn main() {
+    let duration = if quick_mode() {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(2)
+    };
+    let key_count = if quick_mode() { 2_000 } else { 20_000 };
+    let mut rows = Vec::new();
+
+    header(
+        "Figure 11: single-client throughput per (get:put) mix",
+        &["scheme", "mix", "req/s"],
+    );
+    for label in ["REP1", "REP3", "SRS21", "SRS32"] {
+        for get_ratio in [1.0, 0.95, 0.5, 0.0] {
+            let cluster = paper_cluster();
+            let spec = WorkloadSpec {
+                key_count,
+                value_len: 1024,
+                get_ratio,
+                distribution: KeyDistribution::ScrambledZipfian,
+            };
+            let mut gen = WorkloadGen::new(spec, 7);
+            let rate = mixed_throughput(&cluster, memgest_id(label), &mut gen, duration, 64);
+            println!(
+                "{label}\t({:.0}%:{:.0}%)\t{}",
+                get_ratio * 100.0,
+                (1.0 - get_ratio) * 100.0,
+                kreq(rate)
+            );
+            rows.push(Row {
+                scheme: label.to_string(),
+                get_ratio,
+                req_per_sec: rate,
+            });
+            cluster.shutdown();
+        }
+    }
+    write_json("fig11_mixes", &rows);
+}

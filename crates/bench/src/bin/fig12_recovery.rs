@@ -1,0 +1,124 @@
+//! Figure 12: coordinator recovery latency vs recovered metadata size.
+//!
+//! Method (Section 6.4): kill a coordinator, let the leader promote a
+//! spare, and measure from the kill to the first successfully served
+//! request — the spare must recover *all* metadata of *all* memgests
+//! before answering, or it could return stale data. The failure-
+//! detection window (the leader's `fail_timeout`) is subtracted so the
+//! number isolates the recovery work, like the paper's.
+//!
+//! Expected shape: latency grows with metadata size, with high variance
+//! (the paper reports a complex multi-step sequence).
+
+use std::time::{Duration, Instant};
+
+use ring_bench::output::{header, us, write_json};
+use ring_bench::reps;
+use ring_kvs::{Cluster, ClusterSpec};
+
+#[derive(serde::Serialize)]
+struct Row {
+    metadata_bytes: usize,
+    keys: usize,
+    median_us: f64,
+    p90_us: f64,
+    samples: usize,
+}
+
+/// Approximate metadata bytes per key entry (see
+/// `ring_kvs::storage::MetaTable::approx_bytes`).
+const ENTRY_BYTES: usize = 36;
+
+fn main() {
+    let n = reps(12, 3);
+    let fail_timeout = Duration::from_millis(250);
+    // The paper sweeps 88 KiB .. 2128 KiB of metadata.
+    let metadata_sizes: &[usize] = if ring_bench::quick_mode() {
+        &[88 << 10, 336 << 10]
+    } else {
+        &[
+            88 << 10,
+            96 << 10,
+            112 << 10,
+            144 << 10,
+            208 << 10,
+            336 << 10,
+            592 << 10,
+            1104 << 10,
+            2128 << 10,
+        ]
+    };
+
+    header(
+        "Figure 12: coordinator recovery latency vs metadata size",
+        &["metadata", "keys", "median_us", "p90_us"],
+    );
+    let mut rows = Vec::new();
+    for &meta_bytes in metadata_sizes {
+        let keys = meta_bytes / ENTRY_BYTES;
+        let mut samples = Vec::with_capacity(n);
+        let mut round = 0usize;
+        while samples.len() < n && round < n * 4 {
+            round += 1;
+            let spec = ClusterSpec {
+                spares: 1,
+                fail_timeout,
+                client_timeout: Duration::from_millis(30),
+                ..ClusterSpec::paper_evaluation()
+            };
+            let cluster = Cluster::start(spec);
+            let mut client = cluster.client();
+            // Load keys round-robin over the reliable memgests so every
+            // memgest holds metadata that must be recovered.
+            let mut victim = None;
+            for k in 0..keys as u64 {
+                let mid = 1 + (k % 6) as u32; // Skip REP1: its data would be lost.
+                client.put_to(k, &k.to_le_bytes(), mid).expect("preload");
+                if victim.is_none() && cluster.coordinator_of(k) == 0 {
+                    victim = Some(k);
+                }
+            }
+            let victim = victim.expect("some key lands on node 0");
+            // A fine-grained prober: short attempts so the measurement
+            // resolution is a few ms rather than the client timeout.
+            let mut prober = cluster.client();
+            prober.set_timeout(Duration::from_millis(3));
+            let t0 = Instant::now();
+            cluster.kill(0);
+            // First successful answer marks the end of recovery.
+            loop {
+                if prober.get(victim).is_ok() {
+                    break;
+                }
+                assert!(
+                    t0.elapsed() < Duration::from_secs(30),
+                    "recovery did not complete (round {round})"
+                );
+            }
+            let total = t0.elapsed();
+            cluster.shutdown();
+            if total <= fail_timeout {
+                // The leader promoted the spare before our kill (a
+                // false-positive detection under CPU oversubscription);
+                // the round did not measure recovery — redo it.
+                continue;
+            }
+            samples.push(total - fail_timeout);
+        }
+        let s = ring_bench::measure::summarize(samples);
+        println!(
+            "{}KiB\t{keys}\t{}\t{}",
+            meta_bytes >> 10,
+            us(s.median_us),
+            us(s.p90_us)
+        );
+        rows.push(Row {
+            metadata_bytes: meta_bytes,
+            keys,
+            median_us: s.median_us,
+            p90_us: s.p90_us,
+            samples: s.samples,
+        });
+    }
+    write_json("fig12_recovery", &rows);
+}

@@ -1,0 +1,76 @@
+//! Figure 7a/7b: put latency of all seven memgests and the (shared)
+//! get latency, vs object size (2^1 .. 2^11 bytes).
+//!
+//! Expected shape (Section 6.1): REP1 lowest (no replication, immediate
+//! commit), REP2/REP3 above it (one quorum ack), REP4 above those (two
+//! acks), SRS21/SRS31 near each other (one parity update each), SRS32
+//! highest (two parity updates plus coding work); get latency identical
+//! across memgests.
+
+use ring_bench::measure::{get_latency, put_latency, LatencySummary};
+use ring_bench::output::{header, us, write_json};
+use ring_bench::workbench::{paper_cluster, MEMGESTS};
+use ring_bench::{object_sizes, reps};
+
+#[derive(serde::Serialize)]
+struct Row {
+    scheme: String,
+    size: usize,
+    put: LatencySummary,
+}
+
+#[derive(serde::Serialize)]
+struct GetRow {
+    size: usize,
+    get: LatencySummary,
+}
+
+fn main() {
+    let n = reps(1000, 50);
+    let cluster = paper_cluster();
+    let mut client = cluster.client();
+    let mut rows = Vec::new();
+    let mut get_rows = Vec::new();
+    let mut key_base = 0u64;
+
+    header(
+        "Figure 7a/7b: put latency (us, median/p90) vs object size",
+        &["scheme", "size", "median", "p90"],
+    );
+    for (mid, label) in MEMGESTS {
+        for size in object_sizes() {
+            let s = put_latency(&mut client, mid, size, n, key_base);
+            key_base += n as u64;
+            println!("{label}\t{size}\t{}\t{}", us(s.median_us), us(s.p90_us));
+            rows.push(Row {
+                scheme: label.to_string(),
+                size,
+                put: s,
+            });
+        }
+    }
+
+    header(
+        "Figure 7b: get latency (identical across memgests)",
+        &["size", "median", "p90"],
+    );
+    for size in object_sizes() {
+        // Get latency is scheme-independent (Section 6.1); sample it
+        // over keys spread across all memgests.
+        let keys: Vec<u64> = (0..64u64).map(|i| key_base + i).collect();
+        let value = vec![0x11u8; size];
+        for (i, &k) in keys.iter().enumerate() {
+            client
+                .put_to(k, &value, MEMGESTS[i % 7].0)
+                .expect("preload");
+        }
+        key_base += keys.len() as u64;
+        let s = get_latency(&mut client, &keys, n);
+        println!("{size}\t{}\t{}", us(s.median_us), us(s.p90_us));
+        get_rows.push(GetRow { size, get: s });
+    }
+
+    write_json("fig7_put_latency", &rows);
+    write_json("fig7_get_latency", &get_rows);
+    cluster.shutdown();
+}

@@ -1,0 +1,59 @@
+//! Figure 7c: put and get latency of the baseline system models
+//! (memcached, Dare, RAMCloud, Cocytus — see `ring_kvs::baseline` for
+//! the substitution rationale).
+//!
+//! Expected shape (Section 6.1): memcached ~10x slower than Ring's REP1
+//! (kernel TCP); Dare comparable to REP3 (same transport, same
+//! replication); RAMCloud's put well above Dare's (disk-backed
+//! backups) with gets as fast as Ring's; Cocytus get/put far above
+//! Ring's SRS32.
+
+use ring_bench::measure::{get_latency, put_latency, LatencySummary};
+use ring_bench::output::{header, us, write_json};
+use ring_bench::{object_sizes, reps};
+use ring_kvs::baseline::all_baselines;
+use ring_kvs::Cluster;
+
+#[derive(serde::Serialize)]
+struct Row {
+    system: String,
+    size: usize,
+    put: LatencySummary,
+    get: LatencySummary,
+}
+
+fn main() {
+    let n = reps(500, 30);
+    let mut rows = Vec::new();
+    header(
+        "Figure 7c: baseline put/get latency (us, median)",
+        &["system", "size", "put_med", "put_p90", "get_med", "get_p90"],
+    );
+    for b in all_baselines() {
+        let cluster = Cluster::start(b.spec.clone());
+        let mut client = cluster.client();
+        let mut key_base = 0u64;
+        for size in object_sizes() {
+            let put = put_latency(&mut client, b.memgest, size, n, key_base);
+            let keys: Vec<u64> = (key_base..key_base + n as u64).collect();
+            let get = get_latency(&mut client, &keys, n);
+            key_base += n as u64;
+            println!(
+                "{}\t{size}\t{}\t{}\t{}\t{}",
+                b.name,
+                us(put.median_us),
+                us(put.p90_us),
+                us(get.median_us),
+                us(get.p90_us)
+            );
+            rows.push(Row {
+                system: b.name.to_string(),
+                size,
+                put,
+                get,
+            });
+        }
+        cluster.shutdown();
+    }
+    write_json("fig7c_baselines", &rows);
+}

@@ -1,0 +1,54 @@
+//! Figure 8a/8b: move latency vs object size, by destination memgest.
+//!
+//! Expected shape (Section 6.2): only the destination scheme matters
+//! (the source data is locally available); moving to the unreliable
+//! REP1 is roughly size-independent (no client transfer — the object is
+//! copied from main memory) and cheaper than a direct put of the same
+//! object.
+
+use ring_bench::measure::{move_latency, LatencySummary};
+use ring_bench::output::{header, us, write_json};
+use ring_bench::workbench::{memgest_id, paper_cluster, MEMGESTS};
+use ring_bench::{object_sizes, reps};
+
+#[derive(serde::Serialize)]
+struct Row {
+    dst: String,
+    size: usize,
+    mv: LatencySummary,
+}
+
+fn main() {
+    let n = reps(500, 30);
+    let cluster = paper_cluster();
+    let mut client = cluster.client();
+    let mut rows = Vec::new();
+    let mut key_base = 0u64;
+
+    header(
+        "Figure 8: move latency (us, median/p90) vs object size, by destination",
+        &["dst", "size", "median", "p90"],
+    );
+    for (dst, label) in MEMGESTS {
+        // Source is the unreliable memgest unless it IS the destination,
+        // in which case REP3 is the source (the source scheme does not
+        // influence the latency — Section 6.2).
+        let src = if label == "REP1" {
+            memgest_id("REP3")
+        } else {
+            memgest_id("REP1")
+        };
+        for size in object_sizes() {
+            let s = move_latency(&mut client, src, dst, size, n, key_base);
+            key_base += n as u64;
+            println!("{label}\t{size}\t{}\t{}", us(s.median_us), us(s.p90_us));
+            rows.push(Row {
+                dst: label.to_string(),
+                size,
+                mv: s,
+            });
+        }
+    }
+    write_json("fig8_move", &rows);
+    cluster.shutdown();
+}

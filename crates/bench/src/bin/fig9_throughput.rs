@@ -1,0 +1,104 @@
+//! Figure 9: aggregate put throughput over time as clients join
+//! (one new client per interval, 1 KiB values), for REP1, REP3 and
+//! SRS32, plus the baseline models as reference lines.
+//!
+//! Expected shape (Section 6.3): REP1 the highest; REP3 roughly 2x
+//! slower; SRS32 roughly 4x slower; memcached/Cocytus below the
+//! comparable Ring memgests. Absolute rates are scaled to the
+//! simulated fabric — relative factors are what reproduces the figure.
+
+use std::time::Duration;
+
+use ring_bench::measure::{ramp_throughput, ThroughputSample};
+use ring_bench::output::{header, kreq, write_json};
+use ring_bench::workbench::{memgest_id, paper_cluster};
+use ring_bench::{quick_mode, reps};
+use ring_kvs::baseline::all_baselines;
+use ring_kvs::Cluster;
+
+#[derive(serde::Serialize)]
+struct Series {
+    system: String,
+    samples: Vec<ThroughputSample>,
+}
+
+fn main() {
+    let max_clients = reps(4, 2);
+    let interval = if quick_mode() {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(1)
+    };
+    let offered = 400_000.0; // The paper's offered rate per client.
+    let mut series = Vec::new();
+
+    header(
+        "Figure 9: put throughput (1 KiB values), client per interval",
+        &["system", "second", "clients", "req/s"],
+    );
+
+    for label in ["REP1", "REP3", "SRS32"] {
+        let cluster = paper_cluster();
+        let samples = ramp_throughput(
+            &cluster,
+            memgest_id(label),
+            1024,
+            offered,
+            max_clients,
+            interval,
+        );
+        for s in &samples {
+            println!(
+                "{label}\t{:.1}\t{}\t{}",
+                s.second,
+                s.clients,
+                kreq(s.completed_per_sec)
+            );
+        }
+        series.push(Series {
+            system: label.to_string(),
+            samples,
+        });
+        cluster.shutdown();
+    }
+
+    for b in all_baselines() {
+        let cluster = Cluster::start(b.spec.clone());
+        let samples = ramp_throughput(&cluster, b.memgest, 1024, offered, max_clients, interval);
+        for s in &samples {
+            println!(
+                "{}\t{:.1}\t{}\t{}",
+                b.name,
+                s.second,
+                s.clients,
+                kreq(s.completed_per_sec)
+            );
+        }
+        series.push(Series {
+            system: b.name.to_string(),
+            samples,
+        });
+        cluster.shutdown();
+    }
+
+    // The paper's headline ratios.
+    let peak = |name: &str| -> f64 {
+        series
+            .iter()
+            .find(|s| s.system == name)
+            .and_then(|s| {
+                s.samples
+                    .iter()
+                    .map(|x| x.completed_per_sec)
+                    .reduce(f64::max)
+            })
+            .unwrap_or(0.0)
+    };
+    println!(
+        "\nREP1/REP3 = {:.1}x (paper: 2x), REP1/SRS32 = {:.1}x (paper: 4.3x)",
+        peak("REP1") / peak("REP3").max(1.0),
+        peak("REP1") / peak("SRS32").max(1.0)
+    );
+
+    write_json("fig9_throughput", &series);
+}

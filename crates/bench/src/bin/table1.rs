@@ -1,0 +1,114 @@
+//! The Section 1 trade-off table: Simple (Rep(1)), Rep(3) and RS(3,2)
+//! compared on reliability, put latency, put throughput and storage
+//! cost, normalised to Simple.
+//!
+//! Paper values: Rep(3) = {2 failures, 2x latency, 0.5x throughput,
+//! 3x storage}; RS(3,2) = {2 failures, 3.4x latency, 0.31x throughput,
+//! 1.66x storage}.
+
+use std::time::Duration;
+
+use ring_bench::measure::{mixed_throughput, put_latency};
+use ring_bench::output::{header, write_json};
+use ring_bench::workbench::{memgest_id, paper_cluster};
+use ring_bench::{quick_mode, reps};
+use ring_reliability::{rs_chain, srs_chain, ModelParams};
+use ring_workload::{KeyDistribution, WorkloadGen, WorkloadSpec};
+
+#[derive(serde::Serialize)]
+struct Row {
+    scheme: String,
+    failures_tolerated: usize,
+    annual_reliability: f64,
+    put_latency_rel: f64,
+    put_throughput_rel: f64,
+    storage_cost_rel: f64,
+}
+
+fn main() {
+    let n = reps(1000, 50);
+    let params = ModelParams::default();
+
+    // Reliability: Rep(r) is the k=1 chain; failures tolerated from the
+    // scheme definitions.
+    let rel = |k: usize, m: usize, s: usize| srs_chain(k, m, s, &params).annual_reliability();
+    let rep3_rel = rs_chain(1, 2, &params).annual_reliability();
+    let rs32_rel = rel(3, 2, 3);
+
+    // Latency (1 KiB puts, median).
+    let cluster = paper_cluster();
+    let mut client = cluster.client();
+    let lat = |label: &str, client: &mut ring_kvs::RingClient, base: u64| {
+        put_latency(client, memgest_id(label), 1024, n, base).median_us
+    };
+    let l_simple = lat("REP1", &mut client, 0);
+    let l_rep3 = lat("REP3", &mut client, 1_000_000);
+    let l_rs32 = lat("SRS32", &mut client, 2_000_000);
+
+    // Throughput (put-only, closed loop).
+    let dur = if quick_mode() {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(2)
+    };
+    let thr = |label: &str| {
+        let spec = WorkloadSpec {
+            key_count: 5_000,
+            value_len: 1024,
+            get_ratio: 0.0,
+            distribution: KeyDistribution::Uniform,
+        };
+        let mut gen = WorkloadGen::new(spec, 3);
+        mixed_throughput(&cluster, memgest_id(label), &mut gen, dur, 64)
+    };
+    let t_simple = thr("REP1");
+    let t_rep3 = thr("REP3");
+    let t_rs32 = thr("SRS32");
+
+    let rows = vec![
+        Row {
+            scheme: "Simple".into(),
+            failures_tolerated: 0,
+            annual_reliability: 0.0,
+            put_latency_rel: 1.0,
+            put_throughput_rel: 1.0,
+            storage_cost_rel: 1.0,
+        },
+        Row {
+            scheme: "Rep(3)".into(),
+            failures_tolerated: 2,
+            annual_reliability: rep3_rel,
+            put_latency_rel: l_rep3 / l_simple,
+            put_throughput_rel: t_rep3 / t_simple,
+            storage_cost_rel: 3.0,
+        },
+        Row {
+            scheme: "RS(3,2)".into(),
+            failures_tolerated: 2,
+            annual_reliability: rs32_rel,
+            put_latency_rel: l_rs32 / l_simple,
+            put_throughput_rel: t_rs32 / t_simple,
+            storage_cost_rel: 1.0 + 2.0 / 3.0,
+        },
+    ];
+
+    header(
+        "Table 1 (Section 1): scheme trade-offs, normalised to Simple",
+        &["scheme", "reliability", "put_lat", "put_thru", "storage"],
+    );
+    for r in &rows {
+        let reliability = if r.failures_tolerated == 0 {
+            "None".to_string()
+        } else {
+            format!("{} failures", r.failures_tolerated)
+        };
+        println!(
+            "{}\t{}\t{:.2}x\t{:.2}x\t{:.2}x",
+            r.scheme, reliability, r.put_latency_rel, r.put_throughput_rel, r.storage_cost_rel
+        );
+    }
+    println!("\npaper: Rep(3) = 2x / 0.5x / 3x; RS(3,2) = 3.4x / 0.31x / 1.66x");
+
+    write_json("table1", &rows);
+    cluster.shutdown();
+}

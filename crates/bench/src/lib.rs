@@ -1,0 +1,46 @@
+//! Benchmark harness regenerating every table and figure of the Ring
+//! paper's evaluation (Section 6 and Appendix A).
+//!
+//! Each `src/bin/*.rs` binary reproduces one artefact:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | §1 trade-off table (Simple / Rep(3) / RS(3,2)) |
+//! | `fig2_reliability` | Fig. 2 reliability of SRS codes |
+//! | `fig7_latency` | Fig. 7a/b put + get latency vs object size |
+//! | `fig7c_baselines` | Fig. 7c baseline latencies |
+//! | `fig8_move` | Fig. 8 move latency vs object size |
+//! | `fig9_throughput` | Fig. 9 put throughput, 1→4 clients |
+//! | `fig10_pricing` | Fig. 10 storage pricing of five SPC traces |
+//! | `fig11_mixes` | Fig. 11 throughput under get:put mixes |
+//! | `fig12_recovery` | Fig. 12 coordinator recovery vs metadata size |
+//! | `fig13_block_recovery` | Fig. 13 block recovery vs block size |
+//! | `fig16_availability` | Fig. 16 availability of SRS codes |
+//! | `all_experiments` | runs everything above |
+//!
+//! Results are printed as tables and also written as JSON rows under
+//! `results/` so EXPERIMENTS.md can be regenerated. Pass `--quick` for a
+//! fast smoke run with fewer repetitions.
+
+pub mod measure;
+pub mod output;
+pub mod workbench;
+
+/// Returns true if `--quick` is among the CLI arguments.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Repetition count: `full` normally, `quick` with `--quick`.
+pub fn reps(full: usize, quick: usize) -> usize {
+    if quick_mode() {
+        quick
+    } else {
+        full
+    }
+}
+
+/// The object sizes of Figures 7/8: 2^1 .. 2^11 bytes.
+pub fn object_sizes() -> Vec<usize> {
+    (1..=11).map(|p| 1usize << p).collect()
+}

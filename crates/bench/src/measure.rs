@@ -1,0 +1,259 @@
+//! Latency and throughput measurement utilities.
+
+use std::time::{Duration, Instant};
+
+use ring_kvs::{Cluster, RingClient};
+
+/// Median and 90th percentile, as reported throughout Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct LatencySummary {
+    /// Median latency in microseconds.
+    pub median_us: f64,
+    /// 90th-percentile latency in microseconds.
+    pub p90_us: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Summarises a sample set into median and p90.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn summarize(mut samples: Vec<Duration>) -> LatencySummary {
+    assert!(!samples.is_empty(), "no samples collected");
+    samples.sort_unstable();
+    let q = |f: f64| -> f64 {
+        let idx = ((samples.len() - 1) as f64 * f).round() as usize;
+        samples[idx].as_secs_f64() * 1e6
+    };
+    LatencySummary {
+        median_us: q(0.5),
+        p90_us: q(0.9),
+        samples: samples.len(),
+    }
+}
+
+/// Measures put latency into `memgest` for objects of `size` bytes.
+/// Each repetition writes a distinct key (fresh heap range, as in an
+/// insert-heavy workload).
+pub fn put_latency(
+    client: &mut RingClient,
+    memgest: u32,
+    size: usize,
+    reps: usize,
+    key_base: u64,
+) -> LatencySummary {
+    let value = vec![0xABu8; size];
+    let mut samples = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let key = key_base + i as u64;
+        let t0 = Instant::now();
+        client
+            .put_to(key, &value, memgest)
+            .expect("put during benchmark");
+        samples.push(t0.elapsed());
+    }
+    summarize(samples)
+}
+
+/// Measures get latency for pre-loaded keys.
+pub fn get_latency(client: &mut RingClient, keys: &[u64], reps: usize) -> LatencySummary {
+    let mut samples = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let key = keys[i % keys.len()];
+        let t0 = Instant::now();
+        client.get(key).expect("get during benchmark");
+        samples.push(t0.elapsed());
+    }
+    summarize(samples)
+}
+
+/// Measures move latency from `src` to `dst` for objects of `size`
+/// bytes. Each repetition uses a fresh key pre-loaded into `src`.
+pub fn move_latency(
+    client: &mut RingClient,
+    src: u32,
+    dst: u32,
+    size: usize,
+    reps: usize,
+    key_base: u64,
+) -> LatencySummary {
+    let value = vec![0xCDu8; size];
+    for i in 0..reps {
+        client
+            .put_to(key_base + i as u64, &value, src)
+            .expect("preload");
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let key = key_base + i as u64;
+        let t0 = Instant::now();
+        client.move_key(key, dst).expect("move during benchmark");
+        samples.push(t0.elapsed());
+    }
+    summarize(samples)
+}
+
+/// One second of an open-loop throughput trace.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct ThroughputSample {
+    /// Seconds since the trace started.
+    pub second: f64,
+    /// Number of concurrent clients during this interval.
+    pub clients: usize,
+    /// Completed requests per second.
+    pub completed_per_sec: f64,
+}
+
+/// Runs an open-loop put workload: every `interval` another client
+/// joins, each offering `offered_per_client` requests/second, up to
+/// `max_clients`; completions are counted per interval.
+///
+/// Matches the Figure 9 methodology with the absolute rate scaled to
+/// the simulated fabric.
+pub fn ramp_throughput(
+    cluster: &Cluster,
+    memgest: u32,
+    value_size: usize,
+    offered_per_client: f64,
+    max_clients: usize,
+    interval: Duration,
+) -> Vec<ThroughputSample> {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    let mut samples = Vec::new();
+    let t0 = Instant::now();
+
+    for joined in 1..=max_clients {
+        // Launch the next client.
+        let mut client = cluster.client();
+        let stop_c = Arc::clone(&stop);
+        let done_c = Arc::clone(&completed);
+        let value = vec![0x42u8; value_size];
+        let key_base = joined as u64 * 10_000_000;
+        handles.push(std::thread::spawn(move || {
+            // Sleep-paced open loop: send the requests that became due,
+            // drain completions, then yield the CPU — client threads
+            // must not starve the single-threaded servers.
+            let gap = Duration::from_secs_f64(1.0 / offered_per_client);
+            let cap = 256usize;
+            let mut next = Instant::now();
+            let mut key = key_base;
+            let mut inflight = 0usize;
+            while !stop_c.load(Ordering::Relaxed) {
+                let now = Instant::now();
+                while next <= now && inflight < cap {
+                    if client.put_async(key, &value, Some(memgest)).is_ok() {
+                        inflight += 1;
+                        key += 1;
+                    }
+                    next += gap;
+                }
+                if now > next + Duration::from_millis(50) {
+                    next = now; // Don't accumulate unbounded debt.
+                }
+                let done = client.poll_responses().len();
+                inflight = inflight.saturating_sub(done);
+                done_c.fetch_add(done as u64, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }));
+
+        // Sample completions over this interval.
+        let start_count = completed.load(Ordering::Relaxed);
+        let interval_start = Instant::now();
+        std::thread::sleep(interval);
+        let elapsed = interval_start.elapsed().as_secs_f64();
+        let done = completed.load(Ordering::Relaxed) - start_count;
+        samples.push(ThroughputSample {
+            second: t0.elapsed().as_secs_f64(),
+            clients: joined,
+            completed_per_sec: done as f64 / elapsed,
+        });
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    samples
+}
+
+/// Closed-loop throughput with a bounded pipeline: issues YCSB ops from
+/// the generator for `duration`, keeping up to `window` requests in
+/// flight, and returns completed requests/second.
+pub fn mixed_throughput(
+    cluster: &Cluster,
+    memgest: u32,
+    gen: &mut ring_workload::WorkloadGen,
+    duration: Duration,
+    window: usize,
+) -> f64 {
+    let mut client = cluster.client();
+    let value = vec![0x24u8; gen.spec().value_len];
+
+    // Preload every key so gets always hit.
+    for op in gen.load_phase().collect::<Vec<_>>() {
+        client
+            .put_to(op.key(), &value, memgest)
+            .expect("preload put");
+    }
+
+    let t0 = Instant::now();
+    let mut inflight = 0usize;
+    let mut done = 0u64;
+    while t0.elapsed() < duration {
+        while inflight < window {
+            let op = gen.next_op();
+            let ok = match op {
+                ring_workload::Op::Get { key } => client.get_async(key).is_ok(),
+                ring_workload::Op::Put { key, .. } => {
+                    client.put_async(key, &value, Some(memgest)).is_ok()
+                }
+            };
+            if ok {
+                inflight += 1;
+            }
+        }
+        let completed = client.poll_responses().len();
+        done += completed as u64;
+        inflight = inflight.saturating_sub(completed);
+        if completed == 0 {
+            // Let the server threads run (the host may have few cores).
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    // Drain the tail.
+    let drain_end = Instant::now() + Duration::from_millis(200);
+    while inflight > 0 && Instant::now() < drain_end {
+        let completed = client.poll_responses().len();
+        done += completed as u64;
+        inflight = inflight.saturating_sub(completed);
+    }
+    done as f64 / t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_percentiles() {
+        let samples: Vec<Duration> = (1..=100).map(Duration::from_micros).collect();
+        let s = summarize(samples);
+        assert!((s.median_us - 51.0).abs() <= 1.0, "median {}", s.median_us);
+        assert!((s.p90_us - 90.0).abs() <= 1.5, "p90 {}", s.p90_us);
+        assert_eq!(s.samples, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn summarize_empty_panics() {
+        let _ = summarize(Vec::new());
+    }
+}

@@ -1,0 +1,72 @@
+//! Table printing and JSON result persistence.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Directory where experiment results are written (`<repo>/results`).
+pub fn results_dir() -> PathBuf {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes a serializable result set to `results/<name>.json`.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(json.as_bytes());
+            let _ = f.write_all(b"\n");
+        }
+    }
+}
+
+/// Prints a header line followed by a separator.
+pub fn header(title: &str, columns: &[&str]) {
+    println!("\n=== {title} ===");
+    println!("{}", columns.join("\t"));
+    println!("{}", "-".repeat(columns.len() * 12));
+}
+
+/// Formats microseconds with two decimals.
+pub fn us(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a requests/second figure in thousands.
+pub fn kreq(v: f64) -> String {
+    format!("{:.0}K", v / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_points_at_repo_root() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(12.345), "12.35");
+        assert_eq!(kreq(1_500_000.0), "1500K");
+    }
+
+    #[test]
+    fn write_json_round_trips() {
+        write_json("unit_test_row", &vec![1, 2, 3]);
+        let path = results_dir().join("unit_test_row.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.trim(), "[\n  1,\n  2,\n  3\n]");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,184 @@
+//! Memory and load balance analysis for memgest groups (Section 5.4).
+//!
+//! With a single memgest group, parity nodes store more bytes than data
+//! nodes (a parity node holds `1/k` of the group's data per SRS memgest
+//! plus all replica copies), sit idle on get-heavy workloads, and
+//! bottleneck put-heavy ones. Creating `s + d` groups and rotating the
+//! role assignment (see [`crate::config::ClusterConfig::group_member`])
+//! balances both: every physical node coordinates some shards and
+//! carries redundancy for others.
+//!
+//! This module computes the *analytical* per-node storage weights for a
+//! deployment — the quantity Figure 3's unfilled rectangles depict —
+//! used by the `balance_ablation` bench binary and the tests below.
+
+use crate::config::{ClusterConfig, Role};
+use crate::types::{GroupId, Scheme};
+
+/// Per-node storage weight, in bytes per byte of user data stored
+/// (uniformly across keys and groups).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceReport {
+    /// Weight per node, indexed like `config.nodes`.
+    pub weights: Vec<f64>,
+    /// Max/min ratio — 1.0 is perfectly balanced.
+    pub imbalance: f64,
+}
+
+/// Computes per-node storage weights for a config and a set of schemes,
+/// assuming every memgest stores the same volume of user data and keys
+/// hash uniformly over shards and groups.
+pub fn storage_balance(config: &ClusterConfig, schemes: &[Scheme]) -> BalanceReport {
+    let n = config.nodes.len();
+    let s = config.s;
+    let mut weights = vec![0.0f64; n];
+    // Each (group, scheme) stores 1/(groups) of that scheme's data.
+    let per_group = 1.0 / config.groups as f64;
+    for g in 0..config.groups as GroupId {
+        for &scheme in schemes {
+            match scheme {
+                Scheme::Rep { r } => {
+                    // Each shard's coordinator stores 1/s of the data;
+                    // each replica target stores a copy of that shard.
+                    for shard in 0..s {
+                        let share = per_group / s as f64;
+                        let coord = config.coordinator(g, shard);
+                        weights[pos(config, coord)] += share;
+                        for t in config.replica_targets(g, shard, r) {
+                            weights[pos(config, t)] += share;
+                        }
+                    }
+                }
+                Scheme::Srs { k, m } => {
+                    // Data nodes share the data evenly (1/s each);
+                    // each parity node stores 1/k of it.
+                    for shard in 0..s {
+                        let coord = config.coordinator(g, shard);
+                        weights[pos(config, coord)] += per_group / s as f64;
+                    }
+                    for p in 0..m {
+                        let node = config.redundant(g, p);
+                        weights[pos(config, node)] += per_group / k as f64;
+                    }
+                }
+            }
+        }
+    }
+    let max = weights.iter().copied().fold(0.0, f64::max);
+    let min = weights.iter().copied().fold(f64::INFINITY, f64::min);
+    BalanceReport {
+        weights,
+        imbalance: if min > 0.0 { max / min } else { f64::INFINITY },
+    }
+}
+
+fn pos(config: &ClusterConfig, node: ring_net::NodeId) -> usize {
+    config
+        .nodes
+        .iter()
+        .position(|&x| x == node)
+        .expect("node is active")
+}
+
+/// The role mix of a node across all groups (how many shards it
+/// coordinates and how many redundancy slots it holds) — the workload-
+/// balance side of Section 5.4.
+pub fn role_mix(config: &ClusterConfig, node: ring_net::NodeId) -> (usize, usize) {
+    let mut coords = 0;
+    let mut redundants = 0;
+    for g in 0..config.groups as GroupId {
+        match config.role_of(g, node) {
+            Some(Role::Coordinator(_)) => coords += 1,
+            Some(Role::Redundant(_)) => redundants += 1,
+            None => {}
+        }
+    }
+    (coords, redundants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_schemes() -> Vec<Scheme> {
+        vec![
+            Scheme::Rep { r: 1 },
+            Scheme::Rep { r: 2 },
+            Scheme::Rep { r: 3 },
+            Scheme::Rep { r: 4 },
+            Scheme::Srs { k: 2, m: 1 },
+            Scheme::Srs { k: 3, m: 1 },
+            Scheme::Srs { k: 3, m: 2 },
+        ]
+    }
+
+    fn cfg(groups: usize) -> ClusterConfig {
+        ClusterConfig::initial(3, 2, groups, vec![0, 1, 2, 3, 4], vec![])
+    }
+
+    #[test]
+    fn single_group_is_imbalanced() {
+        let report = storage_balance(&cfg(1), &paper_schemes());
+        assert!(
+            report.imbalance > 1.2,
+            "expected visible imbalance, got {:.2}",
+            report.imbalance
+        );
+    }
+
+    #[test]
+    fn s_plus_d_groups_balance_perfectly() {
+        // With s + d = 5 groups, the rotation visits every position once
+        // per node: all weights equal.
+        let report = storage_balance(&cfg(5), &paper_schemes());
+        assert!(
+            report.imbalance < 1.0 + 1e-9,
+            "expected perfect balance, got {:.4}",
+            report.imbalance
+        );
+    }
+
+    #[test]
+    fn total_weight_is_group_invariant() {
+        // Balancing redistributes bytes; it must not create or destroy
+        // them.
+        let a: f64 = storage_balance(&cfg(1), &paper_schemes())
+            .weights
+            .iter()
+            .sum();
+        let b: f64 = storage_balance(&cfg(5), &paper_schemes())
+            .weights
+            .iter()
+            .sum();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn replication_weights_add_up() {
+        // Rep(3) alone: total = 3 units (one per copy).
+        let report = storage_balance(&cfg(1), &[Scheme::Rep { r: 3 }]);
+        let total: f64 = report.weights.iter().sum();
+        assert!((total - 3.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn srs_weights_match_overhead() {
+        // SRS(3,2): total = 1 + m/k = 5/3.
+        let report = storage_balance(&cfg(1), &[Scheme::Srs { k: 3, m: 2 }]);
+        let total: f64 = report.weights.iter().sum();
+        assert!((total - 5.0 / 3.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn role_mix_spreads_with_groups() {
+        let one = cfg(1);
+        let five = cfg(5);
+        // In one group, node 4 never coordinates.
+        assert_eq!(role_mix(&one, 4).0, 0);
+        // In five groups every node coordinates 3 shards and serves 2
+        // redundancy slots.
+        for node in 0..5 {
+            assert_eq!(role_mix(&five, node), (3, 2), "node {node}");
+        }
+    }
+}

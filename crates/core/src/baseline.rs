@@ -1,0 +1,116 @@
+//! Baseline system models for the paper's comparisons (Figures 7c, 9).
+//!
+//! The paper compares Ring against memcached, Dare, RAMCloud and
+//! Cocytus. None of those systems can run here (they need real NICs,
+//! disks and their own codebases), so — per the substitution rule of
+//! this reproduction — each baseline is modelled by configuring *this*
+//! stack to match the property the paper's comparison isolates:
+//!
+//! | Baseline | What the paper attributes its performance to | Model |
+//! |---|---|---|
+//! | memcached | kernel TCP transport, no replication | `Rep(1)` over the TCP latency model |
+//! | Dare | RDMA + in-memory majority replication | `Rep(3)` over the RDMA latency model |
+//! | RAMCloud | RDMA + disk-backed backups | `Rep(3)` over RDMA with a 40µs backup-commit delay |
+//! | Cocytus | kernel TCP + RS(3,2) erasure coding | `SRS(3,2,3)` over the TCP latency model |
+
+use std::time::Duration;
+
+use ring_net::LatencyModel;
+
+use crate::cluster::ClusterSpec;
+use crate::types::MemgestDescriptor;
+
+/// A named baseline configuration.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Display name matching the paper's figures.
+    pub name: &'static str,
+    /// The cluster spec implementing the model.
+    pub spec: ClusterSpec,
+    /// The memgest id to direct the workload at.
+    pub memgest: u32,
+}
+
+/// memcached: single-copy caching KVS over kernel TCP.
+pub fn memcached_like() -> Baseline {
+    Baseline {
+        name: "memcached",
+        spec: ClusterSpec {
+            latency: LatencyModel::tcp_kernel(),
+            memgests: vec![MemgestDescriptor::rep(1)],
+            ..ClusterSpec::default()
+        },
+        memgest: 0,
+    }
+}
+
+/// Dare: strongly consistent in-memory replication over RDMA.
+pub fn dare_like() -> Baseline {
+    Baseline {
+        name: "Dare",
+        spec: ClusterSpec {
+            latency: LatencyModel::rdma(),
+            memgests: vec![MemgestDescriptor::rep(3)],
+            ..ClusterSpec::default()
+        },
+        memgest: 0,
+    }
+}
+
+/// RAMCloud: RDMA front end, disk-backed replication (2 backups).
+pub fn ramcloud_like() -> Baseline {
+    Baseline {
+        name: "RAMCloud",
+        spec: ClusterSpec {
+            latency: LatencyModel::rdma(),
+            memgests: vec![MemgestDescriptor::rep(3)],
+            replica_ack_delay: Duration::from_micros(40),
+            ..ClusterSpec::default()
+        },
+        memgest: 0,
+    }
+}
+
+/// Cocytus: erasure-coded in-memory KVS over kernel TCP.
+pub fn cocytus_like() -> Baseline {
+    Baseline {
+        name: "Cocytus",
+        spec: ClusterSpec {
+            latency: LatencyModel::tcp_kernel(),
+            memgests: vec![MemgestDescriptor::srs(3, 2)],
+            ..ClusterSpec::default()
+        },
+        memgest: 0,
+    }
+}
+
+/// All four baselines in the paper's presentation order.
+pub fn all_baselines() -> Vec<Baseline> {
+    vec![
+        memcached_like(),
+        dare_like(),
+        ramcloud_like(),
+        cocytus_like(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_configs_are_consistent() {
+        for b in all_baselines() {
+            assert!(!b.spec.memgests.is_empty(), "{}", b.name);
+            assert!((b.memgest as usize) < b.spec.memgests.len(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn transport_choices_match_the_paper() {
+        assert_eq!(memcached_like().spec.latency, LatencyModel::tcp_kernel());
+        assert_eq!(dare_like().spec.latency, LatencyModel::rdma());
+        assert_eq!(cocytus_like().spec.latency, LatencyModel::tcp_kernel());
+        assert!(ramcloud_like().spec.replica_ack_delay > Duration::ZERO);
+    }
+}

@@ -1,0 +1,339 @@
+//! The Ring client library: the paper's API (Section 5) over the
+//! fabric, with timeout-and-multicast failover (Section 5.5).
+
+use std::time::{Duration, Instant};
+
+use ring_net::NodeId;
+
+use crate::config::{ClusterConfig, LEADER_NODE};
+use crate::error::RingError;
+use crate::proto::{ClientReq, ClientResp, Msg, RingEndpoint};
+use crate::types::{GroupId, Key, MemgestDescriptor, MemgestId, ReqId, Version};
+
+/// Client tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOptions {
+    /// Per-attempt response timeout.
+    pub timeout: Duration,
+    /// Attempts before giving up (the first is unicast; subsequent
+    /// attempts multicast to every active node).
+    pub attempts: u32,
+}
+
+impl Default for ClientOptions {
+    fn default() -> ClientOptions {
+        ClientOptions {
+            timeout: Duration::from_millis(100),
+            attempts: 10,
+        }
+    }
+}
+
+/// A synchronous Ring client.
+///
+/// Clients map keys to coordinators with the shared `h(key) mod s`
+/// mapping (no name node, no extra hop). After a node failure the cached
+/// mapping goes stale; requests then time out, get multicast to all
+/// nodes, and the answering node is learned as the new coordinator —
+/// the protocol of Section 5.5.
+pub struct RingClient {
+    ep: RingEndpoint,
+    config: ClusterConfig,
+    overrides: std::collections::HashMap<(GroupId, usize), NodeId>,
+    next_req: ReqId,
+    opts: ClientOptions,
+}
+
+impl RingClient {
+    /// Creates a client from its own endpoint and the bootstrap config.
+    pub fn new(ep: RingEndpoint, config: ClusterConfig, opts: ClientOptions) -> RingClient {
+        RingClient {
+            ep,
+            config,
+            overrides: std::collections::HashMap::new(),
+            next_req: 1,
+            opts,
+        }
+    }
+
+    /// The client's node id on the fabric.
+    pub fn id(&self) -> NodeId {
+        self.ep.id()
+    }
+
+    /// Changes the per-attempt timeout (e.g. for fine-grained recovery
+    /// probing).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.opts.timeout = timeout;
+    }
+
+    fn coordinator_for(&self, key: Key) -> NodeId {
+        let loc = self.config.locate(key);
+        self.overrides
+            .get(&loc)
+            .copied()
+            .unwrap_or_else(|| self.config.coordinator_of_key(key))
+    }
+
+    /// Issues one request and awaits its response, failing over to
+    /// multicast after a timeout. `key` enables coordinator learning.
+    fn call(
+        &mut self,
+        target: NodeId,
+        key: Option<Key>,
+        body: ClientReq,
+    ) -> Result<ClientResp, RingError> {
+        let req = self.next_req;
+        self.next_req += 1;
+        for attempt in 0..self.opts.attempts {
+            if attempt == 0 {
+                self.ep.send(
+                    target,
+                    Msg::Request {
+                        req,
+                        body: body.clone(),
+                    },
+                )?;
+            } else {
+                // Re-send through multicast; only the responsible node
+                // will answer (Section 5.5). Spares are included — one
+                // of them may have been promoted to the failed role.
+                let nodes: Vec<NodeId> = self
+                    .config
+                    .nodes
+                    .iter()
+                    .chain(self.config.spares.iter())
+                    .copied()
+                    .collect();
+                self.ep.multicast(
+                    &nodes,
+                    Msg::Request {
+                        req,
+                        body: body.clone(),
+                    },
+                )?;
+            }
+            let deadline = Instant::now() + self.opts.timeout;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                match self.ep.recv_timeout(deadline - now) {
+                    Ok((from, Msg::Response { req: r, body })) if r == req => {
+                        if let Some(key) = key {
+                            let loc = self.config.locate(key);
+                            if self.config.coordinator_of_key(key) != from {
+                                self.overrides.insert(loc, from);
+                            } else {
+                                self.overrides.remove(&loc);
+                            }
+                        }
+                        return Ok(body);
+                    }
+                    Ok(_) => continue, // Stale response to an older attempt.
+                    Err(ring_net::NetError::Timeout) => break,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Err(RingError::Timeout)
+    }
+
+    fn keyed(&mut self, key: Key, body: ClientReq) -> Result<ClientResp, RingError> {
+        let target = self.coordinator_for(key);
+        self.call(target, Some(key), body)
+    }
+
+    fn expect_error(resp: ClientResp) -> RingError {
+        match resp {
+            ClientResp::Error(e) => e,
+            other => RingError::Internal(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// `put(key, object)` into the default memgest.
+    pub fn put(&mut self, key: Key, value: &[u8]) -> Result<Version, RingError> {
+        self.put_in(key, value, None)
+    }
+
+    /// `put(key, object, memgestID)`.
+    pub fn put_to(
+        &mut self,
+        key: Key,
+        value: &[u8],
+        memgest: MemgestId,
+    ) -> Result<Version, RingError> {
+        self.put_in(key, value, Some(memgest))
+    }
+
+    fn put_in(
+        &mut self,
+        key: Key,
+        value: &[u8],
+        memgest: Option<MemgestId>,
+    ) -> Result<Version, RingError> {
+        match self.keyed(
+            key,
+            ClientReq::Put {
+                key,
+                value: value.to_vec(),
+                memgest,
+            },
+        )? {
+            ClientResp::PutOk { version } => Ok(version),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// `get(key)`: the value of the highest version.
+    pub fn get(&mut self, key: Key) -> Result<Vec<u8>, RingError> {
+        self.get_versioned(key).map(|(v, _)| v)
+    }
+
+    /// `get(key)` returning the version as well.
+    pub fn get_versioned(&mut self, key: Key) -> Result<(Vec<u8>, Version), RingError> {
+        match self.keyed(key, ClientReq::Get { key })? {
+            ClientResp::GetOk { value, version } => Ok((value, version)),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// `delete(key)`.
+    pub fn delete(&mut self, key: Key) -> Result<(), RingError> {
+        match self.keyed(key, ClientReq::Delete { key })? {
+            ClientResp::DeleteOk => Ok(()),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// `move(key, memgestID)`: change the key's storage scheme.
+    pub fn move_key(&mut self, key: Key, dst: MemgestId) -> Result<Version, RingError> {
+        match self.keyed(key, ClientReq::Move { key, dst })? {
+            ClientResp::MoveOk { version } => Ok(version),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// `createMemgest(descriptor)` — a leader operation.
+    pub fn create_memgest(&mut self, desc: MemgestDescriptor) -> Result<MemgestId, RingError> {
+        match self.call(LEADER_NODE, None, ClientReq::CreateMemgest { desc })? {
+            ClientResp::MemgestCreated { id } => Ok(id),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// `deleteMemgest(id)`.
+    pub fn delete_memgest(&mut self, id: MemgestId) -> Result<(), RingError> {
+        match self.call(LEADER_NODE, None, ClientReq::DeleteMemgest { id })? {
+            ClientResp::MemgestDeleted => Ok(()),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// `setDefaultMemgest(id)`.
+    pub fn set_default_memgest(&mut self, id: MemgestId) -> Result<(), RingError> {
+        match self.call(LEADER_NODE, None, ClientReq::SetDefaultMemgest { id })? {
+            ClientResp::DefaultSet => Ok(()),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// `getMemgestDescriptor(id)`.
+    pub fn memgest_descriptor(&mut self, id: MemgestId) -> Result<MemgestDescriptor, RingError> {
+        match self.call(LEADER_NODE, None, ClientReq::GetMemgestDescriptor { id })? {
+            ClientResp::Descriptor { desc } => Ok(desc),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// Fire-and-forget put: sends the request without waiting for the
+    /// response (used by the open-loop throughput harness). Returns the
+    /// request id; responses are drained with [`RingClient::poll_responses`].
+    pub fn put_async(
+        &mut self,
+        key: Key,
+        value: &[u8],
+        memgest: Option<MemgestId>,
+    ) -> Result<ReqId, RingError> {
+        let req = self.next_req;
+        self.next_req += 1;
+        let target = self.coordinator_for(key);
+        self.ep.send(
+            target,
+            Msg::Request {
+                req,
+                body: ClientReq::Put {
+                    key,
+                    value: value.to_vec(),
+                    memgest,
+                },
+            },
+        )?;
+        Ok(req)
+    }
+
+    /// Fire-and-forget move (scenario tests and open-loop harness).
+    pub fn move_async(&mut self, key: Key, dst: MemgestId) -> Result<ReqId, RingError> {
+        let req = self.next_req;
+        self.next_req += 1;
+        let target = self.coordinator_for(key);
+        self.ep.send(
+            target,
+            Msg::Request {
+                req,
+                body: ClientReq::Move { key, dst },
+            },
+        )?;
+        Ok(req)
+    }
+
+    /// Fire-and-forget get (open-loop harness).
+    pub fn get_async(&mut self, key: Key) -> Result<ReqId, RingError> {
+        let req = self.next_req;
+        self.next_req += 1;
+        let target = self.coordinator_for(key);
+        self.ep.send(
+            target,
+            Msg::Request {
+                req,
+                body: ClientReq::Get { key },
+            },
+        )?;
+        Ok(req)
+    }
+
+    /// Drains every response currently queued, returning the completed
+    /// request ids (open-loop harness).
+    pub fn poll_responses(&mut self) -> Vec<(ReqId, ClientResp)> {
+        let mut out = Vec::new();
+        while let Ok(Some((_, msg))) = self.ep.try_recv() {
+            if let Msg::Response { req, body } = msg {
+                out.push((req, body));
+            }
+        }
+        out
+    }
+
+    /// Fetches a node's introspection report (op counters, storage
+    /// accounting).
+    pub fn node_stats(&mut self, node: NodeId) -> Result<crate::stats::NodeStats, RingError> {
+        match self.call(node, None, ClientReq::Stats)? {
+            ClientResp::Stats(stats) => Ok(*stats),
+            other => Err(Self::expect_error(other)),
+        }
+    }
+
+    /// The bootstrap configuration this client uses for routing.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+}
+
+impl std::fmt::Debug for RingClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingClient")
+            .field("id", &self.id())
+            .finish()
+    }
+}

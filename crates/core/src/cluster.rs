@@ -1,0 +1,250 @@
+//! The in-process cluster harness: spawns node threads, the leader, and
+//! clients on one simulated fabric.
+//!
+//! This is the reproduction's stand-in for the paper's 12-node
+//! InfiniBand testbed: every protocol component runs unchanged, only the
+//! process boundaries are collapsed (see DESIGN.md §2).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ring_net::{LatencyModel, NodeId};
+
+use crate::client::{ClientOptions, RingClient};
+use crate::config::{ClusterConfig, CLIENT_BASE, LEADER_NODE};
+use crate::leader::{Leader, LeaderOptions};
+use crate::node::{Node, NodeOptions};
+use crate::proto::RingFabric;
+use crate::types::{Key, MemgestDescriptor, MemgestId};
+
+/// Everything needed to start a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Shards (coordinator nodes per group).
+    pub s: usize,
+    /// Redundant nodes per group.
+    pub d: usize,
+    /// Spare nodes.
+    pub spares: usize,
+    /// Memgest groups (Section 5.4; 1 reproduces the paper's main
+    /// experiments, `s + d` balances memory and load).
+    pub groups: usize,
+    /// The fabric latency model.
+    pub latency: LatencyModel,
+    /// Memgests created at startup, ids `0..n` in order.
+    pub memgests: Vec<MemgestDescriptor>,
+    /// Default memgest for untargeted puts.
+    pub default_memgest: MemgestId,
+    /// Keep superseded versions instead of pruning at commit.
+    pub keep_old_versions: bool,
+    /// Node heartbeat period.
+    pub heartbeat_interval: Duration,
+    /// Leader failure-detection threshold.
+    pub fail_timeout: Duration,
+    /// Client per-attempt timeout.
+    pub client_timeout: Duration,
+    /// Delay replicas insert before acking copies (disk-backed backup
+    /// model; zero for in-memory replication).
+    pub replica_ack_delay: Duration,
+    /// Commit `Rep(r)` puts only after all copies ack (fully synchronous
+    /// replication) instead of a majority quorum.
+    pub sync_replication: bool,
+    /// Proactive background data recovery after promotions (Section
+    /// 5.5); off by default so Figure 13 measures cold on-demand decode.
+    pub background_recovery: bool,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> ClusterSpec {
+        ClusterSpec {
+            s: 3,
+            d: 2,
+            spares: 0,
+            groups: 1,
+            latency: LatencyModel::rdma(),
+            memgests: vec![MemgestDescriptor::rep(1)],
+            default_memgest: 0,
+            keep_old_versions: false,
+            heartbeat_interval: Duration::from_millis(5),
+            fail_timeout: Duration::from_millis(50),
+            client_timeout: Duration::from_millis(100),
+            replica_ack_delay: Duration::ZERO,
+            sync_replication: false,
+            background_recovery: false,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// The paper's 5-node evaluation deployment (Figure 3): `s = 3`,
+    /// `d = 2`, with the seven memgests of Section 6.1 created as ids
+    /// 0..=6: REP1, REP2, REP3, REP4, SRS21, SRS31, SRS32.
+    pub fn paper_evaluation() -> ClusterSpec {
+        ClusterSpec {
+            memgests: vec![
+                MemgestDescriptor::rep(1),
+                MemgestDescriptor::rep(2),
+                MemgestDescriptor::rep(3),
+                MemgestDescriptor::rep(4),
+                MemgestDescriptor::srs(2, 1),
+                MemgestDescriptor::srs(3, 1),
+                MemgestDescriptor::srs(3, 2),
+            ],
+            ..ClusterSpec::default()
+        }
+    }
+}
+
+/// A running cluster.
+pub struct Cluster {
+    fabric: RingFabric,
+    config: ClusterConfig,
+    spec: ClusterSpec,
+    threads: Vec<JoinHandle<()>>,
+    next_client: AtomicU32,
+}
+
+impl Cluster {
+    /// Boots the cluster: registers and spawns `s + d` nodes, `spares`
+    /// spare nodes, and the leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid spec (no memgests, bad default id).
+    pub fn start(spec: ClusterSpec) -> Cluster {
+        assert!(!spec.memgests.is_empty(), "need at least one memgest");
+        assert!(
+            (spec.default_memgest as usize) < spec.memgests.len(),
+            "default memgest out of range"
+        );
+        let fabric: RingFabric = ring_net::Fabric::new(spec.latency);
+        let active: Vec<NodeId> = (0..(spec.s + spec.d) as NodeId).collect();
+        let spares: Vec<NodeId> =
+            ((spec.s + spec.d) as NodeId..(spec.s + spec.d + spec.spares) as NodeId).collect();
+        let config =
+            ClusterConfig::initial(spec.s, spec.d, spec.groups, active.clone(), spares.clone());
+        let catalog: Vec<(MemgestId, MemgestDescriptor)> = spec
+            .memgests
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as MemgestId, d))
+            .collect();
+
+        let mut threads = Vec::new();
+        for &id in active.iter().chain(spares.iter()) {
+            let ep = fabric.register(id).expect("fresh fabric");
+            let opts = NodeOptions {
+                heartbeat_interval: spec.heartbeat_interval,
+                keep_old_versions: spec.keep_old_versions,
+                initial_memgests: catalog.clone(),
+                default_memgest: spec.default_memgest,
+                replica_ack_delay: spec.replica_ack_delay,
+                sync_replication: spec.sync_replication,
+                background_recovery: spec.background_recovery,
+                ..NodeOptions::default()
+            };
+            let cfg = config.clone();
+            threads.push(std::thread::spawn(move || {
+                Node::new(ep, cfg, opts).run();
+            }));
+        }
+
+        let leader_ep = fabric.register(LEADER_NODE).expect("fresh fabric");
+        let leader_cfg = config.clone();
+        let leader_catalog = catalog;
+        let default = spec.default_memgest;
+        let fail_timeout = spec.fail_timeout;
+        threads.push(std::thread::spawn(move || {
+            Leader::new(
+                leader_ep,
+                leader_cfg,
+                leader_catalog,
+                default,
+                LeaderOptions {
+                    fail_timeout,
+                    ..LeaderOptions::default()
+                },
+            )
+            .run();
+        }));
+
+        Cluster {
+            fabric,
+            config,
+            spec,
+            threads,
+            next_client: AtomicU32::new(CLIENT_BASE),
+        }
+    }
+
+    /// Creates a new client.
+    pub fn client(&self) -> RingClient {
+        let id = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let ep = self.fabric.register(id).expect("client ids are unique");
+        RingClient::new(
+            ep,
+            self.config.clone(),
+            ClientOptions {
+                timeout: self.spec.client_timeout,
+                ..ClientOptions::default()
+            },
+        )
+    }
+
+    /// The bootstrap configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The spec the cluster was started with.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The underlying fabric (failure injection, stats).
+    pub fn fabric(&self) -> &RingFabric {
+        &self.fabric
+    }
+
+    /// Crash a node (the paper's "manually killing processes").
+    pub fn kill(&self, node: NodeId) {
+        self.fabric.kill(node);
+    }
+
+    /// The node currently... initially coordinating `key` (bootstrap
+    /// mapping; after failures consult a client's learned overrides).
+    pub fn coordinator_of(&self, key: Key) -> NodeId {
+        self.config.coordinator_of_key(key)
+    }
+
+    /// Stops every node and joins the threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        for id in self.fabric.live_nodes() {
+            self.fabric.kill(id);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("s", &self.spec.s)
+            .field("d", &self.spec.d)
+            .field("spares", &self.spec.spares)
+            .finish()
+    }
+}

@@ -1,0 +1,304 @@
+//! Cluster configuration: node roles, groups, and replica placement.
+//!
+//! A deployment has `s + d` active KVS nodes (coordinators + redundant
+//! nodes) and `n` spares (Section 5.5, Figure 6). Memgest groups
+//! (Section 5.4) rotate the role assignment: group `g`'s member list is
+//! the canonical node list rotated by `g`, so coordinators and parity
+//! nodes are spread evenly when `groups > 1`.
+
+use ring_net::NodeId;
+
+use crate::types::{group_of, shard_of, Epoch, GroupId, Key};
+
+/// Node id of the membership leader (the replicated state machine of
+/// Section 5.5; its own fault tolerance is out of scope, as in the
+/// paper's evaluation).
+pub const LEADER_NODE: NodeId = 10_000;
+
+/// First node id handed to clients.
+pub const CLIENT_BASE: NodeId = 20_000;
+
+/// A node's role within one memgest group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Coordinator of the given shard: owns the shard's keys in every
+    /// memgest of the group.
+    Coordinator(usize),
+    /// Redundant node with the given index: hosts replica copies and
+    /// parity blocks.
+    Redundant(usize),
+}
+
+/// The cluster-wide configuration, replicated by the leader on every
+/// membership change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Configuration epoch; higher wins.
+    pub epoch: Epoch,
+    /// Number of shards (coordinators per group).
+    pub s: usize,
+    /// Number of redundant nodes per group.
+    pub d: usize,
+    /// Number of memgest groups.
+    pub groups: usize,
+    /// The `s + d` active KVS nodes in canonical order. Position `i`
+    /// determines the node's role in every group.
+    pub nodes: Vec<NodeId>,
+    /// Remaining spare nodes, ready for promotion.
+    pub spares: Vec<NodeId>,
+}
+
+impl ClusterConfig {
+    /// Creates the initial (epoch-0) configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `s + d` nodes are supplied or parameters are
+    /// degenerate.
+    pub fn initial(
+        s: usize,
+        d: usize,
+        groups: usize,
+        nodes: Vec<NodeId>,
+        spares: Vec<NodeId>,
+    ) -> ClusterConfig {
+        assert!(s > 0, "need at least one shard");
+        assert!(groups > 0, "need at least one group");
+        assert!(
+            nodes.len() == s + d,
+            "need exactly s + d = {} active nodes, got {}",
+            s + d,
+            nodes.len()
+        );
+        ClusterConfig {
+            epoch: 0,
+            s,
+            d,
+            groups,
+            nodes,
+            spares,
+        }
+    }
+
+    /// The member list of group `g`: the canonical list rotated by `g`
+    /// so that roles are spread across physical nodes.
+    pub fn group_member(&self, g: GroupId, position: usize) -> NodeId {
+        let n = self.nodes.len();
+        self.nodes[(position + g as usize) % n]
+    }
+
+    /// The coordinator node of `(group, shard)`.
+    pub fn coordinator(&self, g: GroupId, shard: usize) -> NodeId {
+        assert!(shard < self.s, "shard {shard} out of range");
+        self.group_member(g, shard)
+    }
+
+    /// The redundant node with index `idx` in group `g`.
+    pub fn redundant(&self, g: GroupId, idx: usize) -> NodeId {
+        assert!(idx < self.d, "redundant index {idx} out of range");
+        self.group_member(g, self.s + idx)
+    }
+
+    /// The `(group, shard)` a key maps to.
+    pub fn locate(&self, key: Key) -> (GroupId, usize) {
+        (group_of(key, self.groups), shard_of(key, self.s))
+    }
+
+    /// The coordinator node responsible for a key.
+    pub fn coordinator_of_key(&self, key: Key) -> NodeId {
+        let (g, shard) = self.locate(key);
+        self.coordinator(g, shard)
+    }
+
+    /// The role of `node` in group `g`, or `None` if the node is not an
+    /// active member (e.g. a spare).
+    pub fn role_of(&self, g: GroupId, node: NodeId) -> Option<Role> {
+        let n = self.nodes.len();
+        let canonical = self.nodes.iter().position(|&x| x == node)?;
+        let position = (canonical + n - (g as usize % n)) % n;
+        Some(if position < self.s {
+            Role::Coordinator(position)
+        } else {
+            Role::Redundant(position - self.s)
+        })
+    }
+
+    /// Replica targets for a `Rep(r)` put on `(group, shard)`: the
+    /// `r - 1` nodes following the coordinator in the group's ring
+    /// (redundant nodes first, then other coordinators for `r > d + 1`).
+    pub fn replica_targets(&self, g: GroupId, shard: usize, r: usize) -> Vec<NodeId> {
+        assert!(
+            r <= self.s + self.d,
+            "replication factor {r} exceeds node count"
+        );
+        // Redundant nodes first so that data copies prefer nodes that do
+        // not already coordinate shards, then wrap over coordinators.
+        let mut out = Vec::with_capacity(r.saturating_sub(1));
+        for i in 0..self.d {
+            if out.len() + 1 >= r {
+                break;
+            }
+            out.push(self.redundant(g, (shard + i) % self.d));
+        }
+        let mut next = shard + 1;
+        while out.len() + 1 < r {
+            let candidate = self.coordinator(g, next % self.s);
+            if candidate != self.coordinator(g, shard) && !out.contains(&candidate) {
+                out.push(candidate);
+            }
+            next += 1;
+        }
+        out
+    }
+
+    /// Parity nodes for an `SRS(k, m)` memgest in group `g`: the first
+    /// `m` redundant nodes.
+    pub fn parity_targets(&self, g: GroupId, m: usize) -> Vec<NodeId> {
+        (0..m).map(|p| self.redundant(g, p)).collect()
+    }
+
+    /// All active node ids (unordered contract, canonical order in
+    /// practice).
+    pub fn active_nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Produces the successor configuration after `failed` is replaced
+    /// by the first spare. Returns `None` if no spare remains or the
+    /// node is not active.
+    pub fn promote_spare(&self, failed: NodeId) -> Option<ClusterConfig> {
+        let pos = self.nodes.iter().position(|&n| n == failed)?;
+        let mut next = self.clone();
+        let replacement = if next.spares.is_empty() {
+            return None;
+        } else {
+            next.spares.remove(0)
+        };
+        next.nodes[pos] = replacement;
+        next.epoch += 1;
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(s: usize, d: usize, groups: usize) -> ClusterConfig {
+        ClusterConfig::initial(
+            s,
+            d,
+            groups,
+            (0..(s + d) as NodeId).collect(),
+            vec![100, 101],
+        )
+    }
+
+    #[test]
+    fn coordinator_and_redundant_partition_nodes() {
+        let c = cfg(3, 2, 1);
+        assert_eq!(c.coordinator(0, 0), 0);
+        assert_eq!(c.coordinator(0, 2), 2);
+        assert_eq!(c.redundant(0, 0), 3);
+        assert_eq!(c.redundant(0, 1), 4);
+    }
+
+    #[test]
+    fn group_rotation_spreads_roles() {
+        let c = cfg(3, 2, 5);
+        // Node 3 is redundant in group 0 but coordinator of some shard
+        // in other groups.
+        assert_eq!(c.role_of(0, 3), Some(Role::Redundant(0)));
+        assert_eq!(c.role_of(2, 3), Some(Role::Coordinator(1)));
+        // Every node coordinates in some group.
+        for node in 0..5 {
+            let coordinates =
+                (0..5).any(|g| matches!(c.role_of(g as GroupId, node), Some(Role::Coordinator(_))));
+            assert!(coordinates, "node {node} never coordinates");
+        }
+    }
+
+    #[test]
+    fn role_of_inverts_member_mapping() {
+        let c = cfg(3, 2, 4);
+        for g in 0..4u8 {
+            for shard in 0..3 {
+                let node = c.coordinator(g, shard);
+                assert_eq!(c.role_of(g, node), Some(Role::Coordinator(shard)));
+            }
+            for idx in 0..2 {
+                let node = c.redundant(g, idx);
+                assert_eq!(c.role_of(g, node), Some(Role::Redundant(idx)));
+            }
+        }
+        assert_eq!(c.role_of(0, 100), None); // Spare has no role.
+    }
+
+    #[test]
+    fn replica_targets_prefer_redundant_nodes() {
+        let c = cfg(3, 2, 1);
+        // Rep(3) on shard 0: two targets, both redundant nodes.
+        let t = c.replica_targets(0, 0, 3);
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&3) && t.contains(&4));
+        // Rep(5): wraps onto the other coordinators.
+        let t = c.replica_targets(0, 0, 5);
+        assert_eq!(t.len(), 4);
+        assert!(t.contains(&1) && t.contains(&2));
+        // Rep(1): no targets.
+        assert!(c.replica_targets(0, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn replica_targets_never_include_coordinator() {
+        let c = cfg(3, 2, 1);
+        for shard in 0..3 {
+            for r in 1..=5 {
+                let coord = c.coordinator(0, shard);
+                let t = c.replica_targets(0, shard, r);
+                assert!(!t.contains(&coord), "shard {shard} r {r}");
+                // No duplicates.
+                let mut sorted = t.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), t.len());
+            }
+        }
+    }
+
+    #[test]
+    fn parity_targets_are_the_first_m_redundants() {
+        let c = cfg(3, 2, 1);
+        assert_eq!(c.parity_targets(0, 1), vec![3]);
+        assert_eq!(c.parity_targets(0, 2), vec![3, 4]);
+    }
+
+    #[test]
+    fn promote_spare_replaces_in_place() {
+        let c = cfg(3, 2, 1);
+        let next = c.promote_spare(1).unwrap();
+        assert_eq!(next.epoch, 1);
+        assert_eq!(next.nodes, vec![0, 100, 2, 3, 4]);
+        assert_eq!(next.spares, vec![101]);
+        // The replacement takes over the exact role.
+        assert_eq!(next.coordinator(0, 1), 100);
+        assert_eq!(c.promote_spare(99), None);
+    }
+
+    #[test]
+    fn promote_fails_without_spares() {
+        let mut c = cfg(2, 1, 1);
+        c.spares.clear();
+        assert_eq!(c.promote_spare(0), None);
+    }
+
+    #[test]
+    fn locate_is_stable_across_epochs() {
+        // The key-to-(group, shard) mapping never depends on membership.
+        let a = cfg(3, 2, 2);
+        let b = a.promote_spare(0).unwrap();
+        for key in 0..500u64 {
+            assert_eq!(a.locate(key), b.locate(key));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! The error type of the Ring KVS.
+
+use std::fmt;
+
+use crate::types::MemgestId;
+
+/// Errors surfaced to Ring clients and internal callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// The key does not exist (or its latest version is a tombstone).
+    KeyNotFound,
+    /// The referenced memgest id does not exist.
+    UnknownMemgest(MemgestId),
+    /// A memgest with conflicting parameters or an invalid descriptor.
+    InvalidDescriptor(String),
+    /// The request timed out (node failure or overload).
+    Timeout,
+    /// The contacted node is not the coordinator for the key (stale
+    /// client mapping); the client should refresh and retry.
+    NotCoordinator,
+    /// The cluster rejected the request (e.g. during recovery).
+    Unavailable(String),
+    /// A network-level failure.
+    Net(String),
+    /// Internal invariant violation; indicates a bug.
+    Internal(String),
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::KeyNotFound => write!(f, "key not found"),
+            RingError::UnknownMemgest(id) => write!(f, "unknown memgest {id}"),
+            RingError::InvalidDescriptor(msg) => write!(f, "invalid descriptor: {msg}"),
+            RingError::Timeout => write!(f, "request timed out"),
+            RingError::NotCoordinator => write!(f, "not the coordinator for this key"),
+            RingError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            RingError::Net(msg) => write!(f, "network error: {msg}"),
+            RingError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+impl From<ring_net::NetError> for RingError {
+    fn from(e: ring_net::NetError) -> RingError {
+        match e {
+            ring_net::NetError::Timeout => RingError::Timeout,
+            other => RingError::Net(other.to_string()),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # Ring: a strongly consistent KVS with per-item resilience
+//!
+//! A from-scratch Rust reproduction of *"Fast and strongly-consistent
+//! per-item resilience in key-value stores"* (Taranov, Alonso, Hoefler —
+//! EuroSys 2018).
+//!
+//! Ring lets every key choose its own storage scheme ("memgest"):
+//! `r`-fold replication (including the unreliable `Rep(1)`), or the
+//! paper's novel **Stretched Reed-Solomon** erasure codes `SRS(k, m, s)`
+//! which share one key-to-node mapping across all schemes — so a key's
+//! scheme can change (`move`) without remapping, extra hops, or
+//! distributed transactions, while the whole store stays strongly
+//! consistent through write-ahead metadata, per-key versioning, and
+//! commit-gated reads.
+//!
+//! The crate contains the full system: coordinator/redundant/spare node
+//! roles, quorum replication, delta-based parity updates, leader-driven
+//! membership with spare promotion, metadata-first recovery and
+//! on-demand block decode, plus an in-process [`Cluster`] harness that
+//! stands in for the paper's InfiniBand testbed (the fabric is simulated
+//! — see `ring-net`).
+//!
+//! # Examples
+//!
+//! ```
+//! use ring_kvs::{Cluster, ClusterSpec, MemgestDescriptor};
+//! use ring_net::LatencyModel;
+//!
+//! let mut spec = ClusterSpec::paper_evaluation();
+//! spec.latency = LatencyModel::instant(); // Fast doc test.
+//! let cluster = Cluster::start(spec);
+//! let mut client = cluster.client();
+//!
+//! // Memgest 6 is SRS(3,2); memgest 0 is the unreliable default.
+//! client.put_to(42, b"hello", 6).unwrap();
+//! assert_eq!(client.get(42).unwrap(), b"hello");
+//!
+//! // Change the key's resilience in place.
+//! client.move_key(42, 2).unwrap(); // To REP3.
+//! assert_eq!(client.get(42).unwrap(), b"hello");
+//! cluster.shutdown();
+//! ```
+
+pub mod balance;
+pub mod baseline;
+pub mod client;
+pub mod cluster;
+pub mod config;
+mod error;
+pub mod leader;
+pub mod node;
+pub mod proto;
+pub mod stats;
+pub mod storage;
+pub mod types;
+
+pub use client::{ClientOptions, RingClient};
+pub use cluster::{Cluster, ClusterSpec};
+pub use config::{ClusterConfig, Role, CLIENT_BASE, LEADER_NODE};
+pub use error::RingError;
+pub use node::{Node, NodeOptions};
+pub use stats::NodeStats;
+pub use types::{Key, MemgestDescriptor, MemgestId, Scheme, Version};

@@ -1,0 +1,615 @@
+//! The Ring server: a single-threaded event loop per node, exactly as in
+//! the paper's implementation (Section 6: "each server is
+//! single-threaded").
+//!
+//! A node plays one role per memgest group (coordinator of a shard or
+//! redundant node; spares play none) and multiplexes every plane over
+//! one mailbox: client requests, replication and parity traffic,
+//! heartbeats, membership updates and recovery.
+
+mod coord;
+mod recovery;
+mod redundant;
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use ring_net::NodeId;
+
+use crate::config::{ClusterConfig, Role, LEADER_NODE};
+use crate::proto::{ClientTag, Msg, RingEndpoint};
+use crate::storage::{data_mr_key, parity_mr_key, VolatileTable};
+use crate::storage::{CoordMemgest, CoordStore, Heap, RedundantMemgest, RedundantStore};
+use crate::types::{GroupId, Key, MemgestDescriptor, MemgestId, Scheme, Version};
+
+/// Tunables of a node.
+#[derive(Debug, Clone)]
+pub struct NodeOptions {
+    /// How often to beacon the leader.
+    pub heartbeat_interval: Duration,
+    /// Mailbox poll timeout of the event loop.
+    pub poll_timeout: Duration,
+    /// Keep superseded versions instead of pruning them at commit
+    /// (Section 5.2: versioning can retain reliable backup copies).
+    pub keep_old_versions: bool,
+    /// Retransmission period for unacknowledged redundancy messages.
+    pub retransmit_interval: Duration,
+    /// Extra delay a replica inserts before acknowledging a copy —
+    /// models disk-backed backups (the RAMCloud-like baseline).
+    pub replica_ack_delay: Duration,
+    /// Fully synchronous replication: a `Rep(r)` put commits only after
+    /// all `r - 1` copies acknowledge, instead of a majority quorum
+    /// (the paper's §3.1 contrast: tolerates `r - 1` failures but is
+    /// less available under them).
+    pub sync_replication: bool,
+    /// Proactively recover missing data in the background after a
+    /// promotion (Section 5.5: the new node "starts providing services
+    /// while performing data recovery in the background"). Off by
+    /// default so the on-demand recovery experiments (Figure 13) measure
+    /// cold decodes.
+    pub background_recovery: bool,
+    /// Memgests instantiated at startup: `(id, descriptor)`.
+    pub initial_memgests: Vec<(MemgestId, MemgestDescriptor)>,
+    /// The default memgest for `put(key, value)` without an explicit id.
+    pub default_memgest: MemgestId,
+}
+
+impl Default for NodeOptions {
+    fn default() -> NodeOptions {
+        NodeOptions {
+            heartbeat_interval: Duration::from_millis(5),
+            poll_timeout: Duration::from_micros(500),
+            keep_old_versions: false,
+            retransmit_interval: Duration::from_millis(25),
+            replica_ack_delay: Duration::ZERO,
+            sync_replication: false,
+            background_recovery: false,
+            initial_memgests: vec![(0, MemgestDescriptor::rep(1))],
+            default_memgest: 0,
+        }
+    }
+}
+
+/// What to do when a write-ahead entry commits.
+// The `Reply` prefix is deliberate: each variant names the client call
+// being answered.
+#[allow(clippy::enum_variant_names)]
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum OnCommit {
+    /// Answer a client put.
+    ReplyPut(ClientTag),
+    /// Answer a client delete.
+    ReplyDelete(ClientTag),
+    /// Answer a client move (the destination write committed).
+    ReplyMove(ClientTag),
+}
+
+/// An uncommitted write awaiting redundancy acknowledgements.
+#[derive(Debug)]
+pub(crate) struct PendingPut {
+    /// Nodes whose ack has not arrived yet.
+    pub outstanding: HashSet<NodeId>,
+    /// Acks still required before commit (quorum for Rep, all for SRS).
+    pub needed: usize,
+    /// Completion action.
+    pub on_commit: OnCommit,
+    /// The redundancy messages, kept for retransmission. Receivers
+    /// deduplicate by `(key, version)`, so parity deltas are applied at
+    /// most once.
+    pub msgs: Vec<(NodeId, Msg)>,
+    /// Last (re)transmission time.
+    pub last_send: Instant,
+    /// Number of retransmissions so far (drives exponential backoff —
+    /// without it, overload-induced queueing turns retransmissions into
+    /// a self-amplifying storm).
+    pub retries: u32,
+}
+
+pub(crate) type PendingKey = (GroupId, MemgestId, Key, Version);
+
+/// A put postponed while a new parity node rebuilds its heap.
+#[derive(Debug)]
+pub(crate) struct StalledPut {
+    pub key: Key,
+    pub version: Version,
+    pub value: Vec<u8>,
+    pub tombstone: bool,
+    pub on_commit: OnCommit,
+}
+
+/// One coordinator's answer during a parity rebuild.
+#[derive(Debug)]
+pub(crate) struct RebuildInfo {
+    pub heap_len: usize,
+    pub data_valid: bool,
+    pub entries: Vec<crate::proto::MetaEntry>,
+}
+
+/// Parity-rebuild progress on a freshly promoted redundant node.
+#[derive(Debug)]
+pub(crate) struct RebuildState {
+    /// Coordinator shards that have answered `ParityRebuildInfo`.
+    pub infos: HashMap<usize, RebuildInfo>,
+    /// Shards expected to answer.
+    pub expected: usize,
+    /// Last time `ParityRebuildStart` was (re)broadcast to unanswered
+    /// coordinators (they may themselves be mid-promotion).
+    pub sent_at: Instant,
+}
+
+/// An outstanding metadata fetch of a recovering node, retried with
+/// target rotation so a concurrently dead survivor cannot wedge
+/// recovery.
+#[derive(Debug)]
+pub(crate) struct PendingFetch {
+    pub targets: Vec<NodeId>,
+    pub next_idx: usize,
+    pub sent_at: Instant,
+}
+
+/// Per-group state of a node.
+#[derive(Debug, Default)]
+pub(crate) struct GroupState {
+    /// The shard this node coordinates in the group, if any.
+    pub shard: Option<usize>,
+    /// The redundant-node index in the group, if any.
+    pub red_idx: Option<usize>,
+    /// The volatile hashtable (coordinators only).
+    pub volatile: VolatileTable,
+    /// Coordinator-side memgest state.
+    pub coord: HashMap<MemgestId, CoordMemgest>,
+    /// Redundant-side memgest state (replica copies / parity heaps).
+    /// Coordinators also carry replica stores here for `Rep(r)` with
+    /// `r > d + 1`, where copies spill onto other coordinators.
+    pub redundant: HashMap<MemgestId, RedundantMemgest>,
+    /// Puts postponed per memgest during parity rebuild.
+    pub stalled: HashMap<MemgestId, Vec<StalledPut>>,
+}
+
+/// A Ring server node.
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) ep: RingEndpoint,
+    pub(crate) config: ClusterConfig,
+    pub(crate) catalog: BTreeMap<MemgestId, MemgestDescriptor>,
+    pub(crate) default_memgest: MemgestId,
+    pub(crate) groups: HashMap<GroupId, GroupState>,
+    pub(crate) pending: HashMap<PendingKey, PendingPut>,
+    /// Outstanding metadata fetches while assuming a new role; requests
+    /// are ignored until this drains (clients retry).
+    pub(crate) recovering: usize,
+    pub(crate) rebuilds: HashMap<(GroupId, MemgestId), RebuildState>,
+    /// Outstanding metadata fetches keyed by `(group, memgest, shard)`.
+    pub(crate) fetches: HashMap<(GroupId, MemgestId, usize), PendingFetch>,
+    /// Cumulative operation counters for introspection.
+    pub(crate) ops: crate::stats::OpCounters,
+    pub(crate) opts: NodeOptions,
+    last_heartbeat: Instant,
+    pub(crate) active: bool,
+}
+
+impl Node {
+    /// Creates a node bound to `ep` with the given initial config.
+    pub fn new(ep: RingEndpoint, config: ClusterConfig, opts: NodeOptions) -> Node {
+        let id = ep.id();
+        let catalog: BTreeMap<MemgestId, MemgestDescriptor> =
+            opts.initial_memgests.iter().copied().collect();
+        let mut node = Node {
+            id,
+            ep,
+            config,
+            catalog,
+            default_memgest: opts.default_memgest,
+            groups: HashMap::new(),
+            pending: HashMap::new(),
+            recovering: 0,
+            rebuilds: HashMap::new(),
+            fetches: HashMap::new(),
+            ops: crate::stats::OpCounters::default(),
+            opts,
+            last_heartbeat: Instant::now(),
+            active: false,
+        };
+        node.active = node.config.nodes.contains(&node.id);
+        if node.active {
+            node.setup_roles();
+        }
+        node
+    }
+
+    /// Runs the event loop until the endpoint is killed.
+    pub fn run(&mut self) {
+        loop {
+            match self.ep.recv_timeout(self.opts.poll_timeout) {
+                Ok((from, msg)) => self.dispatch(from, msg),
+                Err(ring_net::NetError::Timeout) => {}
+                Err(_) => break, // Killed.
+            }
+            self.tick();
+        }
+    }
+
+    fn tick(&mut self) {
+        let now = Instant::now();
+        if now.duration_since(self.last_heartbeat) >= self.opts.heartbeat_interval {
+            self.last_heartbeat = now;
+            let _ = self.ep.send(LEADER_NODE, Msg::Heartbeat);
+            self.retransmit(now);
+            self.retry_fetches(now);
+            self.retry_rebuild_starts(now);
+            if self.opts.background_recovery && self.recovering == 0 {
+                self.background_recovery_sweep();
+            }
+        }
+    }
+
+    /// Re-broadcasts `ParityRebuildStart` to coordinators that have not
+    /// answered yet (a coordinator promoted in the same failure burst
+    /// only answers once its own role state exists).
+    fn retry_rebuild_starts(&mut self, now: Instant) {
+        const START_RETRY: Duration = Duration::from_millis(150);
+        let mut resend = Vec::new();
+        for (&(g, mid), rb) in self.rebuilds.iter_mut() {
+            if now.duration_since(rb.sent_at) < START_RETRY {
+                continue;
+            }
+            rb.sent_at = now;
+            for shard in 0..self.config.s {
+                if !rb.infos.contains_key(&shard) {
+                    resend.push((self.config.coordinator(g, shard), g, mid));
+                }
+            }
+        }
+        for (target, g, mid) in resend {
+            let _ = self.ep.send(
+                target,
+                Msg::ParityRebuildStart {
+                    group: g,
+                    memgest: mid,
+                },
+            );
+        }
+    }
+
+    /// Re-issues metadata fetches that have gone unanswered (the target
+    /// may have died in the same failure burst), rotating through the
+    /// alternative holders of the metadata.
+    fn retry_fetches(&mut self, now: Instant) {
+        const FETCH_RETRY: Duration = Duration::from_millis(150);
+        let mut resend = Vec::new();
+        let mut exhausted = Vec::new();
+        for (&(g, mid, shard), f) in self.fetches.iter_mut() {
+            if now.duration_since(f.sent_at) < FETCH_RETRY {
+                continue;
+            }
+            if f.next_idx > f.targets.len() * 8 {
+                // Every holder of this metadata has been asked many
+                // times: the redundancy died with the coordinator (a
+                // failure burst beyond the scheme's tolerance). Give up
+                // so the rest of the node can start serving — those
+                // keys are lost, exactly as the scheme's guarantee says.
+                exhausted.push((g, mid, shard));
+                continue;
+            }
+            let target = f.targets[f.next_idx % f.targets.len()];
+            f.next_idx += 1;
+            f.sent_at = now;
+            resend.push((target, g, mid, shard));
+        }
+        for key in exhausted {
+            self.fetches.remove(&key);
+            self.recovering = self.recovering.saturating_sub(1);
+        }
+        for (target, g, mid, shard) in resend {
+            let _ = self.ep.send(
+                target,
+                Msg::MetaFetch {
+                    group: g,
+                    memgest: mid,
+                    shard,
+                },
+            );
+        }
+    }
+
+    /// Re-sends redundancy messages whose acknowledgements are overdue
+    /// (lost to a cut link or a dying node). Receivers deduplicate by
+    /// `(key, version)`.
+    fn retransmit(&mut self, now: Instant) {
+        for p in self.pending.values_mut() {
+            let backoff = self.opts.retransmit_interval * (1u32 << p.retries.min(6));
+            if now.duration_since(p.last_send) < backoff {
+                continue;
+            }
+            p.last_send = now;
+            p.retries += 1;
+            for (target, msg) in &p.msgs {
+                if p.outstanding.contains(target) {
+                    let _ = self.ep.send(*target, msg.clone());
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Request { req, body } => self.handle_request(from, req, body),
+            Msg::Replicate {
+                group,
+                memgest,
+                key,
+                version,
+                value,
+                tombstone,
+            } => self.handle_replicate(from, group, memgest, key, version, value, tombstone),
+            Msg::ReplicateAck {
+                group,
+                memgest,
+                key,
+                version,
+            }
+            | Msg::ParityAck {
+                group,
+                memgest,
+                key,
+                version,
+            } => self.handle_ack(from, group, memgest, key, version),
+            Msg::ParityUpdate {
+                group,
+                memgest,
+                shard,
+                meta,
+                segs,
+            } => self.handle_parity_update(from, group, memgest, shard, meta, segs),
+            Msg::MetaRemove {
+                group,
+                memgest,
+                key,
+                below,
+            } => self.handle_meta_remove(group, memgest, key, below),
+            Msg::ConfigUpdate {
+                config,
+                memgests,
+                default,
+            } => self.handle_config_update(config, memgests, default),
+            Msg::MemgestCreate { token, id, desc } => {
+                self.handle_memgest_create(from, token, id, desc)
+            }
+            Msg::MemgestDrop { token, id } => self.handle_memgest_drop(from, token, id),
+            Msg::SetDefault { token, id } => {
+                self.default_memgest = id;
+                let _ = self.ep.send(from, Msg::CtrlAck { token });
+            }
+            Msg::MetaFetch {
+                group,
+                memgest,
+                shard,
+            } => self.handle_meta_fetch(from, group, memgest, shard),
+            Msg::MetaFetchResp {
+                group,
+                memgest,
+                shard,
+                entries,
+                values,
+            } => self.handle_meta_fetch_resp(group, memgest, shard, entries, values),
+            Msg::FetchValue {
+                group,
+                memgest,
+                key,
+                version,
+            } => self.handle_fetch_value(from, group, memgest, key, version),
+            Msg::FetchValueResp {
+                group,
+                memgest,
+                key,
+                version,
+                value,
+            } => self.handle_fetch_value_resp(group, memgest, key, version, value),
+            Msg::RecoverBlock {
+                group,
+                memgest,
+                shard,
+                addr,
+                len,
+            } => self.handle_recover_block(from, group, memgest, shard, addr, len),
+            Msg::RecoverBlockResp {
+                group,
+                memgest,
+                addr,
+                bytes,
+            } => self.handle_recover_block_resp(group, memgest, addr, bytes),
+            Msg::ParityRebuildStart { group, memgest } => {
+                self.handle_parity_rebuild_start(from, group, memgest)
+            }
+            Msg::ParityRebuildInfo {
+                group,
+                memgest,
+                shard,
+                heap_len,
+                data_valid,
+                entries,
+            } => self
+                .handle_parity_rebuild_info(group, memgest, shard, heap_len, data_valid, entries),
+            Msg::ParityRebuildDone { group, memgest } => {
+                self.handle_parity_rebuild_done(from, group, memgest)
+            }
+            // Leader-plane messages a data node never receives.
+            Msg::Heartbeat | Msg::CtrlAck { .. } | Msg::Response { .. } => {}
+        }
+    }
+
+    /// Instantiates per-group state for every role this node holds under
+    /// the current config.
+    pub(crate) fn setup_roles(&mut self) {
+        for g in 0..self.config.groups as GroupId {
+            let role = self.config.role_of(g, self.id);
+            let gs = self.groups.entry(g).or_default();
+            match role {
+                Some(Role::Coordinator(shard)) => gs.shard = Some(shard),
+                Some(Role::Redundant(idx)) => gs.red_idx = Some(idx),
+                None => continue,
+            }
+            let ids: Vec<MemgestId> = self.catalog.keys().copied().collect();
+            for id in ids {
+                self.instantiate_memgest(g, id);
+            }
+        }
+    }
+
+    /// Creates the local state for one memgest in one group, according
+    /// to this node's role there. Idempotent.
+    pub(crate) fn instantiate_memgest(&mut self, g: GroupId, id: MemgestId) {
+        let desc = match self.catalog.get(&id) {
+            Some(d) => *d,
+            None => return,
+        };
+        let s = self.config.s;
+        let gs = self.groups.entry(g).or_default();
+
+        if gs.shard.is_some() && !gs.coord.contains_key(&id) {
+            let store = match desc.scheme {
+                Scheme::Rep { .. } => CoordStore::Rep {
+                    values: HashMap::new(),
+                },
+                Scheme::Srs { k, m } => {
+                    let code =
+                        ring_erasure::SrsCode::new(k, m, s).expect("validated at memgest creation");
+                    let layout = ring_erasure::SrsLayout::new(code, desc.block_size)
+                        .expect("block_size validated at creation");
+                    let heap = Heap::new(desc.block_size * 4);
+                    self.ep
+                        .register_region(data_mr_key(g, id), heap.region().clone());
+                    CoordStore::Srs { heap, layout }
+                }
+            };
+            gs.coord.insert(
+                id,
+                CoordMemgest {
+                    desc,
+                    meta: crate::storage::MetaTable::new(),
+                    store,
+                    stalled: false,
+                },
+            );
+        }
+
+        // Redundant-side state: replica stores on every active node (a
+        // Rep(r) with r > d + 1 spills copies onto coordinators); parity
+        // heaps only on redundant nodes with index < m.
+        let needs_parity = match desc.scheme {
+            Scheme::Srs { m, .. } => gs.red_idx.map(|i| i < m).unwrap_or(false),
+            Scheme::Rep { .. } => false,
+        };
+        let needs_rep_store = matches!(desc.scheme, Scheme::Rep { r } if r > 1);
+        if (needs_parity || needs_rep_store) && !gs.redundant.contains_key(&id) {
+            let store = if needs_parity {
+                let region = ring_net::MemoryRegion::new(desc.block_size * 4);
+                self.ep
+                    .register_region(parity_mr_key(g, id), region.clone());
+                let (k, m) = match desc.scheme {
+                    Scheme::Srs { k, m } => (k, m),
+                    Scheme::Rep { .. } => unreachable!("parity implies SRS"),
+                };
+                let code =
+                    ring_erasure::SrsCode::new(k, m, s).expect("validated at memgest creation");
+                let layout = ring_erasure::SrsLayout::new(code, desc.block_size)
+                    .expect("block_size validated at creation");
+                RedundantStore::Parity {
+                    region,
+                    len: 0,
+                    layout,
+                }
+            } else {
+                RedundantStore::Rep {
+                    values: HashMap::new(),
+                }
+            };
+            gs.redundant.insert(
+                id,
+                RedundantMemgest {
+                    desc,
+                    meta: crate::storage::MetaTable::new(),
+                    store,
+                },
+            );
+        }
+    }
+
+    /// Drops local state for a memgest (leader-driven `deleteMemgest`).
+    /// Keys whose only versions lived there are discarded.
+    pub(crate) fn drop_memgest(&mut self, id: MemgestId) {
+        self.catalog.remove(&id);
+        for (g, gs) in self.groups.iter_mut() {
+            if let Some(coord) = gs.coord.remove(&id) {
+                // Purge volatile references so later gets don't chase a
+                // dangling memgest id.
+                for (key, version, _) in coord.meta.iter() {
+                    gs.volatile.remove(key, version);
+                }
+                self.ep.deregister_region(data_mr_key(*g, id));
+            }
+            if gs.redundant.remove(&id).is_some() {
+                self.ep.deregister_region(parity_mr_key(*g, id));
+            }
+            gs.stalled.remove(&id);
+        }
+        self.pending.retain(|(_, mid, _, _), _| *mid != id);
+    }
+
+    fn handle_memgest_create(
+        &mut self,
+        from: NodeId,
+        token: u64,
+        id: MemgestId,
+        desc: MemgestDescriptor,
+    ) {
+        self.catalog.insert(id, desc);
+        if self.active {
+            for g in 0..self.config.groups as GroupId {
+                self.instantiate_memgest(g, id);
+            }
+        }
+        let _ = self.ep.send(from, Msg::CtrlAck { token });
+    }
+
+    fn handle_memgest_drop(&mut self, from: NodeId, token: u64, id: MemgestId) {
+        self.drop_memgest(id);
+        let _ = self.ep.send(from, Msg::CtrlAck { token });
+    }
+
+    fn handle_meta_remove(&mut self, group: GroupId, memgest: MemgestId, key: Key, below: Version) {
+        if let Some(gs) = self.groups.get_mut(&group) {
+            if let Some(red) = gs.redundant.get_mut(&memgest) {
+                for (v, e) in red.meta.remove_below(key, below) {
+                    if let RedundantStore::Rep { values } = &mut red.store {
+                        values.remove(&(key, v));
+                    }
+                    let _ = e;
+                }
+            }
+        }
+    }
+
+    /// The redundancy fan-out targets of a memgest for a given shard.
+    pub(crate) fn redundancy_targets(
+        &self,
+        g: GroupId,
+        shard: usize,
+        scheme: Scheme,
+    ) -> Vec<NodeId> {
+        match scheme {
+            Scheme::Rep { r } => self.config.replica_targets(g, shard, r),
+            Scheme::Srs { m, .. } => self.config.parity_targets(g, m),
+        }
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("active", &self.active)
+            .field("epoch", &self.config.epoch)
+            .finish()
+    }
+}

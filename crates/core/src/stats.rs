@@ -1,0 +1,170 @@
+//! Node introspection: per-node operation counters and storage
+//! accounting, served over the protocol (`StatsRequest`).
+//!
+//! This is how the balance experiments measure the actual per-node
+//! memory distribution that Figure 3 depicts, and how operators of a
+//! real deployment would watch load and capacity.
+
+use ring_net::NodeId;
+
+use crate::types::{Epoch, GroupId, MemgestId, Scheme};
+
+/// Storage accounting for one memgest on one node.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemgestStats {
+    /// The memgest.
+    pub id: MemgestId,
+    /// Scheme label (`REP3`, `SRS32`, ...).
+    pub scheme: String,
+    /// Metadata entries held (coordinator side).
+    pub coord_meta_entries: usize,
+    /// Coordinator entries whose data bytes are not locally present yet
+    /// (awaiting on-demand or background recovery).
+    pub missing_entries: usize,
+    /// Approximate metadata bytes (coordinator side).
+    pub coord_meta_bytes: usize,
+    /// Bytes of primary data stored (values or heap frontier).
+    pub data_bytes: usize,
+    /// Metadata entries held as redundancy (replica/parity side).
+    pub redundant_meta_entries: usize,
+    /// Bytes of replica copies held.
+    pub replica_bytes: usize,
+    /// Bytes of parity heap in use.
+    pub parity_bytes: usize,
+}
+
+/// Per-group summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupStats {
+    /// The group.
+    pub group: GroupId,
+    /// Shard coordinated in this group, if any.
+    pub shard: Option<usize>,
+    /// Redundant index in this group, if any.
+    pub redundant_index: Option<usize>,
+    /// Keys in the volatile hashtable.
+    pub volatile_keys: usize,
+    /// Per-memgest accounting.
+    pub memgests: Vec<MemgestStats>,
+}
+
+/// Cumulative operation counters of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpCounters {
+    /// Client puts served (committed or pending).
+    pub puts: u64,
+    /// Client gets served.
+    pub gets: u64,
+    /// Client deletes served.
+    pub deletes: u64,
+    /// Client moves served.
+    pub moves: u64,
+    /// Replica/parity updates applied for other coordinators.
+    pub redundancy_updates: u64,
+}
+
+/// A node's full introspection report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NodeStats {
+    /// The reporting node.
+    pub node: NodeId,
+    /// Its configuration epoch.
+    pub epoch: Epoch,
+    /// Whether the node currently serves (not a spare, not recovering).
+    pub active: bool,
+    /// Operation counters.
+    pub ops: OpCounters,
+    /// Per-group storage accounting.
+    pub groups: Vec<GroupStats>,
+}
+
+impl NodeStats {
+    /// Total bytes of primary data on this node.
+    pub fn data_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|g| g.memgests.iter())
+            .map(|m| m.data_bytes)
+            .sum()
+    }
+
+    /// Total redundancy bytes (replica copies + parity heaps).
+    pub fn redundancy_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|g| g.memgests.iter())
+            .map(|m| m.replica_bytes + m.parity_bytes)
+            .sum()
+    }
+
+    /// Total entries still awaiting data recovery.
+    pub fn missing_entries(&self) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|g| g.memgests.iter())
+            .map(|m| m.missing_entries)
+            .sum()
+    }
+
+    /// Total approximate metadata bytes.
+    pub fn meta_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|g| g.memgests.iter())
+            .map(|m| m.coord_meta_bytes)
+            .sum()
+    }
+}
+
+/// Builds the scheme label for a stats row.
+pub(crate) fn scheme_label(scheme: Scheme) -> String {
+    scheme.label()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_sums_across_groups() {
+        let stats = NodeStats {
+            node: 1,
+            epoch: 0,
+            active: true,
+            ops: OpCounters::default(),
+            groups: vec![
+                GroupStats {
+                    group: 0,
+                    memgests: vec![MemgestStats {
+                        data_bytes: 100,
+                        replica_bytes: 30,
+                        parity_bytes: 5,
+                        coord_meta_bytes: 7,
+                        ..MemgestStats::default()
+                    }],
+                    ..GroupStats::default()
+                },
+                GroupStats {
+                    group: 1,
+                    memgests: vec![MemgestStats {
+                        data_bytes: 50,
+                        replica_bytes: 0,
+                        parity_bytes: 25,
+                        coord_meta_bytes: 3,
+                        ..MemgestStats::default()
+                    }],
+                    ..GroupStats::default()
+                },
+            ],
+        };
+        assert_eq!(stats.data_bytes(), 150);
+        assert_eq!(stats.redundancy_bytes(), 60);
+        assert_eq!(stats.meta_bytes(), 10);
+    }
+
+    #[test]
+    fn labels_from_schemes() {
+        assert_eq!(scheme_label(Scheme::Rep { r: 3 }), "REP3");
+        assert_eq!(scheme_label(Scheme::Srs { k: 3, m: 2 }), "SRS32");
+    }
+}

@@ -1,0 +1,253 @@
+//! Core identifiers and storage-scheme descriptors.
+
+use std::fmt;
+
+/// A key. The paper's workloads use 8-byte keys, so keys are `u64`;
+/// arbitrary byte-string keys can be hashed into this space by callers.
+pub type Key = u64;
+
+/// A monotonically increasing per-key version. Exactly one instance of a
+/// `(key, version)` pair exists across all memgests (Section 5.2).
+pub type Version = u64;
+
+/// Identifier of a memgest (storage scheme instance).
+pub type MemgestId = u32;
+
+/// Identifier of a memgest group (Section 5.4 balancing).
+pub type GroupId = u8;
+
+/// Client request identifier, unique per client.
+pub type ReqId = u64;
+
+/// Configuration epoch: incremented by the leader on every role change.
+pub type Epoch = u64;
+
+/// The storage scheme of a memgest.
+///
+/// `s` (the shard count) is a cluster-wide constant shared by every
+/// memgest in a group, so it lives in the cluster config rather than
+/// here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// `Rep(r)`: `r`-fold replication. `Rep(1)` is the unreliable
+    /// memgest: no redundancy, immediate commit.
+    Rep {
+        /// Total number of copies, `>= 1`.
+        r: usize,
+    },
+    /// `SRS(k, m, s)`: Stretched Reed-Solomon. `k` data blocks, `m`
+    /// parity nodes, stretched over the group's `s` coordinators.
+    Srs {
+        /// RS data-block count (`k <= s`).
+        k: usize,
+        /// Parity-node count (`m <= d`).
+        m: usize,
+    },
+}
+
+impl Scheme {
+    /// Number of redundant nodes the scheme occupies (replica targets or
+    /// parity nodes).
+    pub fn redundancy(&self) -> usize {
+        match *self {
+            Scheme::Rep { r } => r.saturating_sub(1),
+            Scheme::Srs { m, .. } => m,
+        }
+    }
+
+    /// Memory overhead factor relative to storing the data once, for a
+    /// group with `s` shards.
+    pub fn storage_overhead(&self, s: usize) -> f64 {
+        match *self {
+            Scheme::Rep { r } => r as f64,
+            Scheme::Srs { k, m } => {
+                let _ = s;
+                1.0 + m as f64 / k as f64
+            }
+        }
+    }
+
+    /// True for the unreliable `Rep(1)` scheme.
+    pub fn is_unreliable(&self) -> bool {
+        matches!(*self, Scheme::Rep { r: 1 })
+    }
+
+    /// Number of acknowledgements a coordinator must collect before a
+    /// put commits: quorum for replication (majority of `r` copies,
+    /// counting the coordinator's own), all `m` parities for SRS
+    /// (Section 5.3).
+    pub fn acks_to_commit(&self) -> usize {
+        match *self {
+            // Majority of r copies; the coordinator itself is one copy.
+            Scheme::Rep { r } => (r / 2 + 1).saturating_sub(1),
+            Scheme::Srs { m, .. } => m,
+        }
+    }
+
+    /// Label matching the paper's figures (`REP3`, `SRS32`, ...).
+    pub fn label(&self) -> String {
+        match *self {
+            Scheme::Rep { r } => format!("REP{r}"),
+            Scheme::Srs { k, m } => format!("SRS{k}{m}"),
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Scheme::Rep { r } => write!(f, "Rep({r})"),
+            Scheme::Srs { k, m } => write!(f, "SRS({k},{m})"),
+        }
+    }
+}
+
+/// User-facing description of a memgest (the `descriptor_t` of the
+/// paper's API).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemgestDescriptor {
+    /// The storage scheme.
+    pub scheme: Scheme,
+    /// Sub-block size in bytes for SRS heap striping (ignored for
+    /// replication). Must be a power of two.
+    pub block_size: usize,
+}
+
+impl MemgestDescriptor {
+    /// A replicated memgest with `r` copies.
+    pub fn rep(r: usize) -> MemgestDescriptor {
+        MemgestDescriptor {
+            scheme: Scheme::Rep { r },
+            block_size: 4096,
+        }
+    }
+
+    /// An erasure-coded memgest `SRS(k, m, s)` (with the group's `s`).
+    pub fn srs(k: usize, m: usize) -> MemgestDescriptor {
+        MemgestDescriptor {
+            scheme: Scheme::Srs { k, m },
+            block_size: 4096,
+        }
+    }
+
+    /// The unreliable memgest, `Rep(1)`.
+    pub fn unreliable() -> MemgestDescriptor {
+        MemgestDescriptor::rep(1)
+    }
+}
+
+/// Mixes the key bits so that sequential keys spread over shards and
+/// groups (splitmix64 finaliser).
+#[inline]
+pub fn hash_key(key: Key) -> u64 {
+    let mut z = key.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The shard a key belongs to: `h(key) mod s` (Section 5.1).
+#[inline]
+pub fn shard_of(key: Key, s: usize) -> usize {
+    (hash_key(key) % s as u64) as usize
+}
+
+/// The memgest group a key belongs to (upper hash bits, independent of
+/// the shard index).
+#[inline]
+pub fn group_of(key: Key, groups: usize) -> GroupId {
+    ((hash_key(key) >> 32) % groups as u64) as GroupId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_redundancy() {
+        assert_eq!(Scheme::Rep { r: 1 }.redundancy(), 0);
+        assert_eq!(Scheme::Rep { r: 3 }.redundancy(), 2);
+        assert_eq!(Scheme::Srs { k: 3, m: 2 }.redundancy(), 2);
+    }
+
+    #[test]
+    fn acks_to_commit_rules() {
+        // Rep(1): no acks. Rep(2): majority of 2 = 2 copies -> 1 ack.
+        // Rep(3): majority of 3 = 2 copies -> 1 ack. Rep(4): 3 -> 2.
+        // Rep(5): 3 -> 2. SRS(k,m): all m parities.
+        assert_eq!(Scheme::Rep { r: 1 }.acks_to_commit(), 0);
+        assert_eq!(Scheme::Rep { r: 2 }.acks_to_commit(), 1);
+        assert_eq!(Scheme::Rep { r: 3 }.acks_to_commit(), 1);
+        assert_eq!(Scheme::Rep { r: 4 }.acks_to_commit(), 2);
+        assert_eq!(Scheme::Rep { r: 5 }.acks_to_commit(), 2);
+        assert_eq!(Scheme::Srs { k: 3, m: 2 }.acks_to_commit(), 2);
+        assert_eq!(Scheme::Srs { k: 2, m: 1 }.acks_to_commit(), 1);
+    }
+
+    #[test]
+    fn storage_overheads() {
+        assert_eq!(Scheme::Rep { r: 3 }.storage_overhead(3), 3.0);
+        assert!((Scheme::Srs { k: 3, m: 2 }.storage_overhead(3) - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(Scheme::Rep { r: 3 }.label(), "REP3");
+        assert_eq!(Scheme::Srs { k: 3, m: 2 }.label(), "SRS32");
+        assert_eq!(format!("{}", Scheme::Srs { k: 2, m: 1 }), "SRS(2,1)");
+    }
+
+    #[test]
+    fn unreliable_detection() {
+        assert!(Scheme::Rep { r: 1 }.is_unreliable());
+        assert!(!Scheme::Rep { r: 2 }.is_unreliable());
+        assert!(!Scheme::Srs { k: 2, m: 1 }.is_unreliable());
+    }
+
+    #[test]
+    fn sharding_covers_all_shards() {
+        let s = 3;
+        let mut seen = vec![false; s];
+        for key in 0..1000u64 {
+            seen[shard_of(key, s)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn sharding_is_roughly_balanced() {
+        let s = 5;
+        let mut counts = vec![0u32; s];
+        for key in 0..100_000u64 {
+            counts[shard_of(key, s)] += 1;
+        }
+        for &c in &counts {
+            assert!((15_000..25_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn groups_cover_and_balance() {
+        let groups = 4;
+        let mut counts = vec![0u32; groups];
+        for key in 0..100_000u64 {
+            counts[group_of(key, groups) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((20_000..30_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shard_and_group_are_independent() {
+        // A single shard's keys must spread over all groups.
+        let (s, groups) = (3, 3);
+        let mut seen = vec![false; groups];
+        for key in 0..10_000u64 {
+            if shard_of(key, s) == 0 {
+                seen[group_of(key, groups) as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

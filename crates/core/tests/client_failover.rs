@@ -1,0 +1,90 @@
+//! Client-side failover behavior (Section 5.5): timeout, multicast
+//! re-send, and coordinator learning.
+
+use std::time::{Duration, Instant};
+
+use ring_kvs::{Cluster, ClusterSpec};
+use ring_net::LatencyModel;
+
+#[test]
+fn client_learns_new_coordinator_after_failover() {
+    let cluster = Cluster::start(ClusterSpec {
+        latency: LatencyModel::instant(),
+        spares: 1,
+        fail_timeout: Duration::from_millis(150),
+        client_timeout: Duration::from_millis(120),
+        ..ClusterSpec::paper_evaluation()
+    });
+    let mut client = cluster.client();
+    let key = (0..60u64)
+        .find(|&k| cluster.coordinator_of(k) == 0)
+        .unwrap();
+    client.put_to(key, b"before", 2).unwrap();
+    cluster.kill(0);
+
+    // First access: unicast to the dead node times out, multicast finds
+    // the promoted spare — slow path.
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs(15);
+    loop {
+        match client.get(key) {
+            Ok(v) => {
+                assert_eq!(v, b"before");
+                break;
+            }
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => panic!("never recovered: {e}"),
+        }
+    }
+    let first = t0.elapsed();
+    assert!(
+        first >= Duration::from_millis(100),
+        "first access should have paid at least one timeout: {first:?}"
+    );
+
+    // Subsequent accesses go straight to the learned coordinator: far
+    // below one client timeout.
+    for _ in 0..5 {
+        let t = Instant::now();
+        assert_eq!(client.get(key).unwrap(), b"before");
+        assert!(
+            t.elapsed() < Duration::from_millis(100),
+            "learned path must not pay the timeout: {:?}",
+            t.elapsed()
+        );
+    }
+
+    // A fresh client starts from the stale bootstrap config and learns
+    // independently.
+    let mut fresh = cluster.client();
+    assert_eq!(fresh.get(key).unwrap(), b"before");
+    let t = Instant::now();
+    assert_eq!(fresh.get(key).unwrap(), b"before");
+    assert!(t.elapsed() < Duration::from_millis(100));
+    cluster.shutdown();
+}
+
+#[test]
+fn requests_to_unrelated_keys_are_unaffected_by_failover() {
+    let cluster = Cluster::start(ClusterSpec {
+        latency: LatencyModel::instant(),
+        spares: 1,
+        fail_timeout: Duration::from_millis(150),
+        ..ClusterSpec::paper_evaluation()
+    });
+    let mut client = cluster.client();
+    let safe_key = (0..60u64)
+        .find(|&k| cluster.coordinator_of(k) == 1)
+        .unwrap();
+    client.put_to(safe_key, b"steady", 2).unwrap();
+    cluster.kill(0);
+    // Keys on surviving coordinators keep their fast path throughout
+    // the failover window.
+    for _ in 0..10 {
+        let t = Instant::now();
+        assert_eq!(client.get(safe_key).unwrap(), b"steady");
+        assert!(t.elapsed() < Duration::from_millis(100));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,240 @@
+//! End-to-end tests of the basic KVS API on an in-process cluster.
+
+use ring_kvs::{Cluster, ClusterSpec, MemgestDescriptor, RingError};
+use ring_net::LatencyModel;
+
+fn fast_spec() -> ClusterSpec {
+    ClusterSpec {
+        latency: LatencyModel::instant(),
+        ..ClusterSpec::paper_evaluation()
+    }
+}
+
+#[test]
+fn put_get_round_trip_all_memgests() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    // Memgests 0..=6: REP1, REP2, REP3, REP4, SRS21, SRS31, SRS32.
+    for mid in 0..7u32 {
+        for (i, len) in [1usize, 2, 16, 100, 1024, 2048].iter().enumerate() {
+            let key = (mid as u64) * 100 + i as u64;
+            let value: Vec<u8> = (0..*len)
+                .map(|j| (j as u8).wrapping_mul(31).wrapping_add(mid as u8))
+                .collect();
+            let v = client.put_to(key, &value, mid).unwrap();
+            assert_eq!(v, 1, "memgest {mid} key {key}");
+            assert_eq!(client.get(key).unwrap(), value, "memgest {mid} len {len}");
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn versions_increase_on_overwrite() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    assert_eq!(client.put_to(7, b"a", 2).unwrap(), 1);
+    assert_eq!(client.put_to(7, b"bb", 2).unwrap(), 2);
+    assert_eq!(client.put_to(7, b"ccc", 6).unwrap(), 3); // Different memgest.
+    let (value, version) = client.get_versioned(7).unwrap();
+    assert_eq!(value, b"ccc");
+    assert_eq!(version, 3);
+    cluster.shutdown();
+}
+
+#[test]
+fn get_missing_key_is_not_found() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    assert_eq!(client.get(999).unwrap_err(), RingError::KeyNotFound);
+    cluster.shutdown();
+}
+
+#[test]
+fn delete_hides_key_and_survives_scheme() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    for mid in [0u32, 2, 6] {
+        let key = 1000 + mid as u64;
+        client.put_to(key, b"data", mid).unwrap();
+        client.delete(key).unwrap();
+        assert_eq!(
+            client.get(key).unwrap_err(),
+            RingError::KeyNotFound,
+            "memgest {mid}"
+        );
+        // Re-put after delete gets a higher version.
+        let v = client.put_to(key, b"new", mid).unwrap();
+        assert!(v >= 2, "memgest {mid}: version {v}");
+        assert_eq!(client.get(key).unwrap(), b"new");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn delete_missing_key_not_found() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    assert_eq!(client.delete(555).unwrap_err(), RingError::KeyNotFound);
+    cluster.shutdown();
+}
+
+#[test]
+fn move_between_all_scheme_pairs() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    let mut key = 5000u64;
+    for src in 0..7u32 {
+        for dst in 0..7u32 {
+            let value = vec![0xA5u8; 700];
+            client.put_to(key, &value, src).unwrap();
+            let v = client.move_key(key, dst).unwrap();
+            assert_eq!(v, 2, "move {src} -> {dst}");
+            assert_eq!(client.get(key).unwrap(), value, "move {src} -> {dst}");
+            key += 1;
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn move_missing_key_not_found() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    assert_eq!(client.move_key(777, 2).unwrap_err(), RingError::KeyNotFound);
+    cluster.shutdown();
+}
+
+#[test]
+fn put_to_unknown_memgest_rejected() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    assert_eq!(
+        client.put_to(1, b"x", 99).unwrap_err(),
+        RingError::UnknownMemgest(99)
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn create_and_use_memgest_at_runtime() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    let id = client.create_memgest(MemgestDescriptor::srs(2, 2)).unwrap();
+    assert_eq!(id, 7);
+    client.put_to(42, b"fresh", id).unwrap();
+    assert_eq!(client.get(42).unwrap(), b"fresh");
+    let desc = client.memgest_descriptor(id).unwrap();
+    assert_eq!(desc, MemgestDescriptor::srs(2, 2));
+    cluster.shutdown();
+}
+
+#[test]
+fn invalid_memgest_descriptors_rejected() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    // k > s.
+    assert!(matches!(
+        client.create_memgest(MemgestDescriptor::srs(4, 1)),
+        Err(RingError::InvalidDescriptor(_))
+    ));
+    // m > d.
+    assert!(matches!(
+        client.create_memgest(MemgestDescriptor::srs(2, 3)),
+        Err(RingError::InvalidDescriptor(_))
+    ));
+    // r > s + d.
+    assert!(matches!(
+        client.create_memgest(MemgestDescriptor::rep(6)),
+        Err(RingError::InvalidDescriptor(_))
+    ));
+    cluster.shutdown();
+}
+
+#[test]
+fn set_default_memgest_applies_to_plain_puts() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    client.set_default_memgest(6).unwrap(); // SRS32.
+    client.put(11, b"in-srs").unwrap();
+    assert_eq!(client.get(11).unwrap(), b"in-srs");
+    cluster.shutdown();
+}
+
+#[test]
+fn delete_memgest_removes_it() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    let id = client.create_memgest(MemgestDescriptor::rep(2)).unwrap();
+    client.delete_memgest(id).unwrap();
+    assert_eq!(
+        client.put_to(1, b"x", id).unwrap_err(),
+        RingError::UnknownMemgest(id)
+    );
+    assert_eq!(
+        client.memgest_descriptor(id).unwrap_err(),
+        RingError::UnknownMemgest(id)
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn many_keys_across_all_shards() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    for key in 0..300u64 {
+        let value = key.to_le_bytes().to_vec();
+        client.put_to(key, &value, (key % 7) as u32).unwrap();
+    }
+    for key in 0..300u64 {
+        assert_eq!(client.get(key).unwrap(), key.to_le_bytes().to_vec());
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn two_clients_see_each_others_writes() {
+    let cluster = Cluster::start(fast_spec());
+    let mut a = cluster.client();
+    let mut b = cluster.client();
+    a.put_to(33, b"from-a", 2).unwrap();
+    assert_eq!(b.get(33).unwrap(), b"from-a");
+    b.put_to(33, b"from-b", 6).unwrap();
+    assert_eq!(a.get(33).unwrap(), b"from-b");
+    cluster.shutdown();
+}
+
+#[test]
+fn empty_value_round_trips() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    client.put_to(8, b"", 2).unwrap();
+    assert_eq!(client.get(8).unwrap(), Vec::<u8>::new());
+    client.put_to(9, b"", 6).unwrap();
+    assert_eq!(client.get(9).unwrap(), Vec::<u8>::new());
+    cluster.shutdown();
+}
+
+#[test]
+fn multi_group_cluster_works() {
+    let spec = ClusterSpec {
+        groups: 5, // s + d groups: the balancing config of Section 5.4.
+        ..fast_spec()
+    };
+    let cluster = Cluster::start(spec);
+    let mut client = cluster.client();
+    for key in 0..200u64 {
+        client
+            .put_to(key, &key.to_be_bytes(), (key % 7) as u32)
+            .unwrap();
+    }
+    for key in 0..200u64 {
+        assert_eq!(client.get(key).unwrap(), key.to_be_bytes().to_vec());
+    }
+    // Move across schemes still works in every group.
+    for key in 0..50u64 {
+        client.move_key(key, ((key + 3) % 7) as u32).unwrap();
+        assert_eq!(client.get(key).unwrap(), key.to_be_bytes().to_vec());
+    }
+    cluster.shutdown();
+}

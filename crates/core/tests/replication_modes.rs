@@ -1,0 +1,87 @@
+//! Quorum vs fully synchronous replication (the §3.1 contrast and the
+//! DESIGN.md ablation): a quorum commit survives a lagging replica, a
+//! fully synchronous commit waits for every copy.
+
+use std::time::Duration;
+
+use ring_kvs::proto::ClientResp;
+use ring_kvs::{Cluster, ClusterSpec};
+use ring_net::LatencyModel;
+
+fn spec(sync: bool) -> ClusterSpec {
+    ClusterSpec {
+        latency: LatencyModel::instant(),
+        sync_replication: sync,
+        ..ClusterSpec::paper_evaluation()
+    }
+}
+
+fn rep3_targets(cluster: &Cluster, key: u64) -> (u32, Vec<u32>) {
+    let cfg = cluster.config();
+    let (g, shard) = cfg.locate(key);
+    (cfg.coordinator(g, shard), cfg.replica_targets(g, shard, 3))
+}
+
+fn wait_response(
+    client: &mut ring_kvs::RingClient,
+    req: u64,
+    deadline: Duration,
+) -> Option<ClientResp> {
+    let end = std::time::Instant::now() + deadline;
+    while std::time::Instant::now() < end {
+        for (r, body) in client.poll_responses() {
+            if r == req {
+                return Some(body);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    None
+}
+
+#[test]
+fn quorum_commits_with_one_replica_unreachable() {
+    let cluster = Cluster::start(spec(false));
+    let key = 42u64;
+    let (coordinator, targets) = rep3_targets(&cluster, key);
+    // Cut one of the two replica links: majority (coordinator + one
+    // replica) still forms.
+    cluster.fabric().fail_link(coordinator, targets[0]);
+    let mut client = cluster.client();
+    let v = client.put_to(key, b"quorum", 2).unwrap();
+    assert_eq!(v, 1);
+    assert_eq!(client.get(key).unwrap(), b"quorum");
+    cluster.shutdown();
+}
+
+#[test]
+fn sync_replication_stalls_until_every_copy_acks() {
+    let cluster = Cluster::start(spec(true));
+    let key = 42u64;
+    let (coordinator, targets) = rep3_targets(&cluster, key);
+    cluster.fabric().fail_link(coordinator, targets[0]);
+    let mut client = cluster.client();
+    let req = client.put_async(key, b"sync", Some(2)).unwrap();
+    // No commit while one copy is unreachable...
+    assert!(wait_response(&mut client, req, Duration::from_millis(100)).is_none());
+    // ...and commit resumes when the link heals (retransmission).
+    cluster.fabric().heal_link(coordinator, targets[0]);
+    match wait_response(&mut client, req, Duration::from_secs(2)) {
+        Some(ClientResp::PutOk { version }) => assert_eq!(version, 1),
+        other => panic!("expected commit after heal, got {other:?}"),
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn sync_replication_still_serves_normal_traffic() {
+    let cluster = Cluster::start(spec(true));
+    let mut client = cluster.client();
+    for key in 0..50u64 {
+        client.put_to(key, &key.to_le_bytes(), 2).unwrap();
+    }
+    for key in 0..50u64 {
+        assert_eq!(client.get(key).unwrap(), key.to_le_bytes());
+    }
+    cluster.shutdown();
+}

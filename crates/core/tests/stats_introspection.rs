@@ -1,0 +1,117 @@
+//! The introspection plane: per-node op counters and storage accounting.
+
+use ring_kvs::{Cluster, ClusterSpec};
+use ring_net::LatencyModel;
+
+fn fast_spec() -> ClusterSpec {
+    ClusterSpec {
+        latency: LatencyModel::instant(),
+        ..ClusterSpec::paper_evaluation()
+    }
+}
+
+#[test]
+fn op_counters_track_served_requests() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    for key in 0..30u64 {
+        client.put_to(key, b"value", 2).unwrap();
+    }
+    for key in 0..30u64 {
+        client.get(key).unwrap();
+    }
+    client.move_key(0, 6).unwrap();
+    client.delete(1).unwrap();
+
+    let mut puts = 0;
+    let mut gets = 0;
+    let mut moves = 0;
+    let mut deletes = 0;
+    for node in 0..5u32 {
+        let s = client.node_stats(node).unwrap();
+        assert!(s.active, "node {node}");
+        puts += s.ops.puts;
+        gets += s.ops.gets;
+        moves += s.ops.moves;
+        deletes += s.ops.deletes;
+    }
+    // Coordinators count the requests they own; non-owners drop silently
+    // but only receive them on multicast retries (none here).
+    assert_eq!(puts, 30);
+    assert_eq!(gets, 30);
+    assert_eq!(moves, 1);
+    assert_eq!(deletes, 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn storage_accounting_reflects_written_bytes() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    let value = vec![1u8; 1000];
+    for key in 0..60u64 {
+        client.put_to(key, &value, 6).unwrap(); // SRS(3,2).
+    }
+    let mut data = 0usize;
+    let mut parity = 0usize;
+    let mut meta_entries = 0usize;
+    for node in 0..5u32 {
+        let s = client.node_stats(node).unwrap();
+        data += s.data_bytes();
+        parity += s
+            .groups
+            .iter()
+            .flat_map(|g| g.memgests.iter())
+            .map(|m| m.parity_bytes)
+            .sum::<usize>();
+        meta_entries += s
+            .groups
+            .iter()
+            .flat_map(|g| g.memgests.iter())
+            .map(|m| m.coord_meta_entries)
+            .sum::<usize>();
+    }
+    assert_eq!(meta_entries, 60);
+    assert_eq!(data, 60 * 1000, "primary bytes");
+    // Two parity nodes, each covering ~1/k of the data heaps modulo
+    // block rounding.
+    assert!(parity > 0, "parity heaps in use");
+    cluster.shutdown();
+}
+
+#[test]
+fn replica_bytes_counted_for_replication() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    let value = vec![2u8; 500];
+    for key in 0..40u64 {
+        client.put_to(key, &value, 2).unwrap(); // Rep(3).
+    }
+    let mut replica_bytes = 0usize;
+    for node in 0..5u32 {
+        let s = client.node_stats(node).unwrap();
+        replica_bytes += s
+            .groups
+            .iter()
+            .flat_map(|g| g.memgests.iter())
+            .map(|m| m.replica_bytes)
+            .sum::<usize>();
+    }
+    // Every key has 2 replica copies somewhere.
+    assert_eq!(replica_bytes, 40 * 500 * 2);
+    cluster.shutdown();
+}
+
+#[test]
+fn spare_reports_inactive() {
+    let spec = ClusterSpec {
+        spares: 1,
+        ..fast_spec()
+    };
+    let cluster = Cluster::start(spec);
+    let mut client = cluster.client();
+    let s = client.node_stats(5).unwrap(); // The spare.
+    assert!(!s.active);
+    assert!(s.groups.is_empty());
+    cluster.shutdown();
+}

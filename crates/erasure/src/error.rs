@@ -1,0 +1,70 @@
+//! Error type shared by the coding routines.
+
+use std::fmt;
+
+/// Errors produced by RS/SRS construction, encoding and reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// Invalid code parameters (e.g. `k == 0`, `s < k`, field overflow).
+    InvalidParameters(String),
+    /// Blocks passed to encode/reconstruct have inconsistent lengths.
+    BlockLengthMismatch {
+        /// Length of the first block seen.
+        expected: usize,
+        /// Length of the offending block.
+        actual: usize,
+    },
+    /// The wrong number of blocks was supplied.
+    BlockCountMismatch {
+        /// Number of blocks required.
+        expected: usize,
+        /// Number of blocks supplied.
+        actual: usize,
+    },
+    /// Fewer than `k` blocks survive: reconstruction is impossible.
+    NotEnoughBlocks {
+        /// Blocks needed for reconstruction.
+        needed: usize,
+        /// Blocks available.
+        available: usize,
+    },
+    /// An index (node, block, source) is out of range for the code.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound.
+        bound: usize,
+    },
+    /// The requested failure pattern is unrecoverable even though enough
+    /// blocks survive (cannot happen for MDS codes; kept for safety).
+    Unrecoverable,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParameters(msg) => write!(f, "invalid code parameters: {msg}"),
+            CodeError::BlockLengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "block length mismatch: expected {expected}, got {actual}"
+                )
+            }
+            CodeError::BlockCountMismatch { expected, actual } => {
+                write!(f, "block count mismatch: expected {expected}, got {actual}")
+            }
+            CodeError::NotEnoughBlocks { needed, available } => {
+                write!(
+                    f,
+                    "not enough blocks to reconstruct: need {needed}, have {available}"
+                )
+            }
+            CodeError::IndexOutOfRange { index, bound } => {
+                write!(f, "index {index} out of range (bound {bound})")
+            }
+            CodeError::Unrecoverable => write!(f, "failure pattern is unrecoverable"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}

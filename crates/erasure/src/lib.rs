@@ -1,0 +1,92 @@
+//! Reed-Solomon and Stretched Reed-Solomon erasure codes.
+//!
+//! This crate implements the coding layer of the Ring paper (Taranov et
+//! al., EuroSys'18):
+//!
+//! - [`Rs`]: classical systematic `RS(k, m)` coding (Section 3.2 and
+//!   Eqn. (1)): encode `k` data blocks into `m` parity blocks, reconstruct
+//!   any combination of up to `m` lost blocks, and compute the
+//!   delta-based parity updates used on the put path.
+//! - [`SrsCode`]: the paper's novel **Stretched Reed-Solomon**
+//!   `SRS(k, m, s)` codes (Section 3.3 and Eqn. (2)): the `l = lcm(k, s)`
+//!   sub-block construction that spreads `RS(k, m)`-encoded data over
+//!   `s >= k` data nodes so that every scheme in a deployment shares one
+//!   key-to-node mapping.
+//! - [`SrsLayout`]: byte-level address arithmetic for heap-backed
+//!   memgests — maps `(data node, heap address)` ranges to RS sources,
+//!   lanes and parity-node addresses, which is what lets a KVS apply a
+//!   put's parity delta without re-encoding whole stripes.
+//!
+//! # Examples
+//!
+//! ```
+//! use ring_erasure::SrsCode;
+//!
+//! // SRS(2, 1, 3): RS(2,1)-encoded data stretched over 3 data nodes.
+//! let code = SrsCode::new(2, 1, 3).unwrap();
+//! assert_eq!(code.l(), 6); // lcm(2, 3)
+//!
+//! let object = b"stretched reed-solomon".to_vec();
+//! let enc = code.encode_object(&object).unwrap();
+//! assert_eq!(enc.data_nodes.len(), 3);
+//! assert_eq!(enc.parity_nodes.len(), 1);
+//!
+//! // Lose data node 1 and recover it from the survivors.
+//! let mut data: Vec<Option<Vec<u8>>> = enc.data_nodes.iter().cloned().map(Some).collect();
+//! data[1] = None;
+//! let parity: Vec<Option<Vec<u8>>> = enc.parity_nodes.iter().cloned().map(Some).collect();
+//! let recovered = code.recover_data_node(1, &data, &parity).unwrap();
+//! assert_eq!(recovered, enc.data_nodes[1]);
+//! ```
+
+mod error;
+mod layout;
+mod rs;
+mod srs;
+
+pub use error::CodeError;
+pub use layout::{Segment, SrsLayout};
+pub use rs::{Rs, Stripe};
+pub use srs::{SrsCode, SrsEncodedObject, SrsParams};
+
+/// Computes the least common multiple of two positive integers.
+///
+/// # Panics
+///
+/// Panics if either argument is zero.
+pub fn lcm(a: usize, b: usize) -> usize {
+    assert!(a > 0 && b > 0, "lcm of zero is undefined");
+    a / gcd(a, b) * b
+}
+
+/// Computes the greatest common divisor of two integers.
+pub fn gcd(a: usize, b: usize) -> usize {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(lcm(2, 3), 6);
+        assert_eq!(lcm(3, 3), 3);
+        assert_eq!(lcm(4, 6), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lcm of zero")]
+    fn lcm_zero_panics() {
+        lcm(0, 3);
+    }
+}

@@ -1,0 +1,451 @@
+//! Classical systematic Reed-Solomon coding (Section 3.2 of the paper).
+
+use ring_gf::{region, Gf256, Matrix};
+
+use crate::CodeError;
+
+/// A systematic `RS(k, m)` Reed-Solomon code.
+///
+/// The coding matrix is `H = [I; G]` (Eqn. (1)): the first `k` outputs
+/// echo the data blocks, the last `m` are parity blocks computed from the
+/// Vandermonde-derived generator `G`. Any `k` of the `k + m` blocks
+/// suffice to reconstruct the rest (the MDS property).
+#[derive(Clone)]
+pub struct Rs {
+    k: usize,
+    m: usize,
+    h: Matrix,
+}
+
+/// An encoded object split into `k` data blocks and `m` parity blocks,
+/// with the original length remembered so it can be reassembled exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stripe {
+    /// The `k` equal-size data blocks (zero-padded).
+    pub data: Vec<Vec<u8>>,
+    /// The `m` parity blocks.
+    pub parity: Vec<Vec<u8>>,
+    /// Length of the original object in bytes.
+    pub object_len: usize,
+}
+
+impl Rs {
+    /// Creates an `RS(k, m)` code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] if `k == 0` or
+    /// `k + m > 256` (GF(2^8) limit).
+    pub fn new(k: usize, m: usize) -> Result<Rs, CodeError> {
+        if k == 0 {
+            return Err(CodeError::InvalidParameters("k must be positive".into()));
+        }
+        if k + m > 256 {
+            return Err(CodeError::InvalidParameters(format!(
+                "k + m = {} exceeds the GF(2^8) limit of 256",
+                k + m
+            )));
+        }
+        Ok(Rs {
+            k,
+            m,
+            h: Matrix::systematic(k, m),
+        })
+    }
+
+    /// Number of data blocks.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity blocks.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The full `(k + m) x k` coding matrix `H = [I; G]`.
+    pub fn coding_matrix(&self) -> &Matrix {
+        &self.h
+    }
+
+    /// The generator coefficient `g_{pi}` relating parity block `p`
+    /// (0-based) to data block `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= m` or `i >= k`.
+    pub fn coefficient(&self, p: usize, i: usize) -> Gf256 {
+        assert!(p < self.m, "parity index {p} out of range");
+        assert!(i < self.k, "data index {i} out of range");
+        self.h[(self.k + p, i)]
+    }
+
+    /// Encodes `k` equal-length data blocks into `m` parity blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block count is not `k` or the lengths
+    /// differ.
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, CodeError> {
+        if data.len() != self.k {
+            return Err(CodeError::BlockCountMismatch {
+                expected: self.k,
+                actual: data.len(),
+            });
+        }
+        let len = data[0].len();
+        for block in data {
+            if block.len() != len {
+                return Err(CodeError::BlockLengthMismatch {
+                    expected: len,
+                    actual: block.len(),
+                });
+            }
+        }
+        let mut parity = vec![vec![0u8; len]; self.m];
+        for (p, out) in parity.iter_mut().enumerate() {
+            for (i, block) in data.iter().enumerate() {
+                region::mul_acc(out, block, self.h[(self.k + p, i)]);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Splits an object into `k` zero-padded blocks and encodes parity.
+    ///
+    /// An empty object produces `k + m` empty blocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encode errors (which cannot occur for the blocks this
+    /// method builds, but the signature stays fallible for uniformity).
+    pub fn encode_object(&self, object: &[u8]) -> Result<Stripe, CodeError> {
+        let block_len = object.len().div_ceil(self.k);
+        let mut data = Vec::with_capacity(self.k);
+        for i in 0..self.k {
+            let start = (i * block_len).min(object.len());
+            let end = ((i + 1) * block_len).min(object.len());
+            let mut block = object[start..end].to_vec();
+            block.resize(block_len, 0);
+            data.push(block);
+        }
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let parity = self.encode(&refs)?;
+        Ok(Stripe {
+            data,
+            parity,
+            object_len: object.len(),
+        })
+    }
+
+    /// Reassembles the original object from a stripe's data blocks.
+    pub fn reassemble(&self, stripe: &Stripe) -> Vec<u8> {
+        let mut out = Vec::with_capacity(stripe.object_len);
+        for block in &stripe.data {
+            out.extend_from_slice(block);
+        }
+        out.truncate(stripe.object_len);
+        out
+    }
+
+    /// Reconstructs all missing blocks in place.
+    ///
+    /// `shards` must have exactly `k + m` entries ordered as
+    /// `[D_0..D_{k-1}, P_0..P_{m-1}]`; `None` marks a lost block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughBlocks`] if fewer than `k` survive,
+    /// and length/count errors for malformed input.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), CodeError> {
+        if shards.len() != self.k + self.m {
+            return Err(CodeError::BlockCountMismatch {
+                expected: self.k + self.m,
+                actual: shards.len(),
+            });
+        }
+        let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.k {
+            return Err(CodeError::NotEnoughBlocks {
+                needed: self.k,
+                available: present.len(),
+            });
+        }
+        let len = shards[present[0]].as_ref().map(|b| b.len()).unwrap_or(0);
+        for &i in &present {
+            let bl = shards[i].as_ref().map(|b| b.len()).unwrap_or(0);
+            if bl != len {
+                return Err(CodeError::BlockLengthMismatch {
+                    expected: len,
+                    actual: bl,
+                });
+            }
+        }
+        let missing: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_none()).collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+
+        // Decode the k data blocks first (if any are missing), then
+        // re-encode missing parity.
+        let data_missing = missing.iter().any(|&i| i < self.k);
+        if data_missing {
+            let chosen: Vec<usize> = present.iter().copied().take(self.k).collect();
+            let sub = self.h.select_rows(&chosen);
+            let dec = sub.invert().map_err(|_| CodeError::Unrecoverable)?;
+            // data_j = sum_i dec[j][i] * shard[chosen[i]].
+            let mut data: Vec<Vec<u8>> = vec![vec![0u8; len]; self.k];
+            for (j, out) in data.iter_mut().enumerate() {
+                for (i, &src) in chosen.iter().enumerate() {
+                    let block = shards[src].as_ref().expect("chosen blocks are present");
+                    region::mul_acc(out, block, dec[(j, i)]);
+                }
+            }
+            for (j, block) in data.into_iter().enumerate() {
+                if shards[j].is_none() {
+                    shards[j] = Some(block);
+                }
+            }
+        }
+        // All data blocks now present; rebuild missing parity.
+        for &idx in &missing {
+            if idx >= self.k {
+                let p = idx - self.k;
+                let mut out = vec![0u8; len];
+                for (i, shard) in shards.iter().enumerate().take(self.k) {
+                    let block = shard.as_ref().expect("data reconstructed above");
+                    region::mul_acc(&mut out, block, self.h[(self.k + p, i)]);
+                }
+                shards[idx] = Some(out);
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the parity delta for parity block `p` caused by data
+    /// block `source` changing by `delta = new ^ old`:
+    /// `parity_p ^= g_{p,source} * delta` (the paper's update rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn parity_delta(&self, p: usize, source: usize, delta: &[u8]) -> Vec<u8> {
+        let c = self.coefficient(p, source);
+        let mut out = vec![0u8; delta.len()];
+        region::mul_into(&mut out, delta, c);
+        out
+    }
+
+    /// Applies a precomputed parity delta in place: `parity ^= delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn apply_parity_delta(parity: &mut [u8], delta: &[u8]) {
+        region::xor_into(parity, delta);
+    }
+
+    /// Verifies that the parity blocks are consistent with the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns count/length errors for malformed input.
+    pub fn verify(&self, data: &[&[u8]], parity: &[&[u8]]) -> Result<bool, CodeError> {
+        if parity.len() != self.m {
+            return Err(CodeError::BlockCountMismatch {
+                expected: self.m,
+                actual: parity.len(),
+            });
+        }
+        let expect = self.encode(data)?;
+        Ok(expect.iter().zip(parity).all(|(a, b)| a.as_slice() == *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| (seed as usize + i * 31 + j * 7) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Rs::new(0, 2).is_err());
+        assert!(Rs::new(200, 100).is_err());
+        assert!(Rs::new(2, 0).is_ok()); // m = 0 is a degenerate but legal code.
+        assert!(Rs::new(255, 1).is_ok());
+    }
+
+    #[test]
+    fn encode_then_verify() {
+        let rs = Rs::new(3, 2).unwrap();
+        let data = blocks(3, 64, 1);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        assert_eq!(parity.len(), 2);
+        let prefs: Vec<&[u8]> = parity.iter().map(|b| b.as_slice()).collect();
+        assert!(rs.verify(&refs, &prefs).unwrap());
+    }
+
+    #[test]
+    fn corrupted_parity_fails_verify() {
+        let rs = Rs::new(3, 2).unwrap();
+        let data = blocks(3, 16, 9);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let mut parity = rs.encode(&refs).unwrap();
+        parity[1][3] ^= 0xFF;
+        let prefs: Vec<&[u8]> = parity.iter().map(|b| b.as_slice()).collect();
+        assert!(!rs.verify(&refs, &prefs).unwrap());
+    }
+
+    #[test]
+    fn reconstruct_every_single_loss() {
+        let rs = Rs::new(4, 2).unwrap();
+        let data = blocks(4, 32, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let all: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+        for lost in 0..6 {
+            let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+            shards[lost] = None;
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_ref().unwrap(), &all[i], "loss {lost}, block {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_every_double_loss() {
+        let rs = Rs::new(3, 2).unwrap();
+        let data = blocks(3, 17, 5);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let all: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+        for a in 0..5 {
+            for b in a + 1..5 {
+                let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+                shards[a] = None;
+                shards[b] = None;
+                rs.reconstruct(&mut shards).unwrap();
+                for (i, s) in shards.iter().enumerate() {
+                    assert_eq!(s.as_ref().unwrap(), &all[i], "loss ({a},{b}), block {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_losses_rejected() {
+        let rs = Rs::new(3, 2).unwrap();
+        let data = blocks(3, 8, 2);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert!(matches!(
+            rs.reconstruct(&mut shards),
+            Err(CodeError::NotEnoughBlocks {
+                needed: 3,
+                available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn parity_delta_equals_reencode() {
+        let rs = Rs::new(3, 2).unwrap();
+        let data = blocks(3, 24, 7);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let mut parity = rs.encode(&refs).unwrap();
+
+        // Update data block 1.
+        let mut new_data = data.clone();
+        for b in new_data[1].iter_mut() {
+            *b ^= 0x5A;
+        }
+        let delta = ring_gf::region::delta(&data[1], &new_data[1]);
+        for (p, block) in parity.iter_mut().enumerate() {
+            let pd = rs.parity_delta(p, 1, &delta);
+            Rs::apply_parity_delta(block, &pd);
+        }
+        let new_refs: Vec<&[u8]> = new_data.iter().map(|b| b.as_slice()).collect();
+        let expect = rs.encode(&new_refs).unwrap();
+        assert_eq!(parity, expect);
+    }
+
+    #[test]
+    fn encode_object_round_trip() {
+        let rs = Rs::new(3, 2).unwrap();
+        for len in [0usize, 1, 2, 3, 10, 100, 1024, 1000] {
+            let obj: Vec<u8> = (0..len).map(|i| (i * 13) as u8).collect();
+            let stripe = rs.encode_object(&obj).unwrap();
+            assert_eq!(rs.reassemble(&stripe), obj, "len {len}");
+        }
+    }
+
+    #[test]
+    fn encode_object_then_lose_and_recover() {
+        let rs = Rs::new(3, 1).unwrap();
+        let obj: Vec<u8> = (0..100u32).map(|i| (i * 3 + 1) as u8).collect();
+        let stripe = rs.encode_object(&obj).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = stripe
+            .data
+            .iter()
+            .chain(stripe.parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        shards[2] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[2].as_ref().unwrap(), &stripe.data[2]);
+    }
+
+    #[test]
+    fn wrong_block_count_rejected() {
+        let rs = Rs::new(3, 2).unwrap();
+        let data = blocks(2, 8, 1);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        assert!(matches!(
+            rs.encode(&refs),
+            Err(CodeError::BlockCountMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let rs = Rs::new(2, 1).unwrap();
+        let a = vec![1u8; 8];
+        let b = vec![2u8; 9];
+        assert!(matches!(
+            rs.encode(&[&a, &b]),
+            Err(CodeError::BlockLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_parity_code_encodes_nothing() {
+        let rs = Rs::new(3, 0).unwrap();
+        let data = blocks(3, 8, 1);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        assert!(rs.encode(&refs).unwrap().is_empty());
+    }
+}

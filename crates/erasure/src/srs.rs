@@ -1,0 +1,755 @@
+//! Stretched Reed-Solomon codes (Section 3.3 of the paper).
+//!
+//! `SRS(k, m, s)` encodes data with a plain `RS(k, m)` code but spreads
+//! the `k` data blocks over `s >= k` data nodes. The construction divides
+//! the data into `l = lcm(k, s)` sub-blocks: RS source `j` consists of the
+//! `l/k` consecutive sub-blocks `[j*l/k, (j+1)*l/k)`, while data node `i`
+//! stores the `l/s` consecutive sub-blocks `[i*l/s, (i+1)*l/s)`. Parity
+//! nodes are untouched by stretching: parity node `p` stores the `l/k`
+//! parity sub-blocks of RS parity `p`, one per *lane*.
+//!
+//! A **lane** `u` in `0..l/k` is the set of sub-blocks
+//! `{ D~[j*l/k + u] : j in 0..k }` plus the `m` parity sub-blocks
+//! `{ P~[p*l/k + u] : p in 0..m }` — an independent `RS(k, m)` stripe.
+//! All encoding, update and recovery is lane-wise, which is exactly the
+//! block structure of the expanded matrix `Hexp = H ∘ E` (Eqn. (2)/(3)).
+
+use ring_gf::{region, Gf256, Matrix};
+
+use crate::{lcm, CodeError, Rs};
+
+/// The three parameters of a stretched code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SrsParams {
+    /// Number of RS data blocks.
+    pub k: usize,
+    /// Number of parity blocks (and parity nodes).
+    pub m: usize,
+    /// Number of data nodes the `k` blocks are stretched over (`s >= k`).
+    pub s: usize,
+}
+
+impl std::fmt::Display for SrsParams {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SRS({},{},{})", self.k, self.m, self.s)
+    }
+}
+
+/// An object encoded with an SRS code: per-node byte payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrsEncodedObject {
+    /// Payload stored on each of the `s` data nodes (`l/s` sub-blocks each).
+    pub data_nodes: Vec<Vec<u8>>,
+    /// Payload stored on each of the `m` parity nodes (`l/k` sub-blocks each).
+    pub parity_nodes: Vec<Vec<u8>>,
+    /// Sub-block size in bytes.
+    pub sub_block: usize,
+    /// Original object length.
+    pub object_len: usize,
+}
+
+/// A stretched Reed-Solomon code `SRS(k, m, s)`.
+///
+/// `SRS(k, m, k)` is identical to `RS(k, m)`.
+#[derive(Clone)]
+pub struct SrsCode {
+    params: SrsParams,
+    rs: Rs,
+    l: usize,
+}
+
+impl std::fmt::Debug for SrsCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SrsCode({})", self.params)
+    }
+}
+
+impl SrsCode {
+    /// Creates an `SRS(k, m, s)` code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::InvalidParameters`] if `k == 0`, `s < k`, or
+    /// `k + m` exceeds the field.
+    pub fn new(k: usize, m: usize, s: usize) -> Result<SrsCode, CodeError> {
+        if s < k {
+            return Err(CodeError::InvalidParameters(format!(
+                "stretch s = {s} must be >= k = {k}"
+            )));
+        }
+        let rs = Rs::new(k, m)?;
+        Ok(SrsCode {
+            params: SrsParams { k, m, s },
+            rs,
+            l: lcm(k, s),
+        })
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> SrsParams {
+        self.params
+    }
+
+    /// `l = lcm(k, s)`: the number of data sub-blocks per stripe.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Sub-blocks stored per data node (`l / s`).
+    pub fn data_blocks_per_node(&self) -> usize {
+        self.l / self.params.s
+    }
+
+    /// Sub-blocks stored per parity node, which equals the number of
+    /// lanes (`l / k`).
+    pub fn lanes(&self) -> usize {
+        self.l / self.params.k
+    }
+
+    /// The underlying `RS(k, m)` code.
+    pub fn rs(&self) -> &Rs {
+        &self.rs
+    }
+
+    /// Memory overhead factor of the scheme: `(s + m·s/k) / s = 1 + m/k`.
+    pub fn storage_overhead(&self) -> f64 {
+        1.0 + self.params.m as f64 / self.params.k as f64
+    }
+
+    /// The data node hosting global data sub-block `g`, with its local
+    /// index on that node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= l`.
+    pub fn node_of_sub_block(&self, g: usize) -> (usize, usize) {
+        assert!(g < self.l, "sub-block {g} out of range (l = {})", self.l);
+        let per = self.data_blocks_per_node();
+        (g / per, g % per)
+    }
+
+    /// The RS source and lane of global data sub-block `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= l`.
+    pub fn source_of_sub_block(&self, g: usize) -> (usize, usize) {
+        assert!(g < self.l, "sub-block {g} out of range (l = {})", self.l);
+        let lanes = self.lanes();
+        (g / lanes, g % lanes)
+    }
+
+    /// The global data sub-block of RS source `j`, lane `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= k` or `u >= lanes()`.
+    pub fn sub_block_of(&self, j: usize, u: usize) -> usize {
+        assert!(j < self.params.k, "source {j} out of range");
+        assert!(u < self.lanes(), "lane {u} out of range");
+        j * self.lanes() + u
+    }
+
+    /// The expanded coding matrix `Hexp` of Eqn. (2): size
+    /// `(l + l*m/k) x l`, equal to the entry-wise product `H ∘ E` with
+    /// `E_ij = I_{l/k}`.
+    pub fn expanded_matrix(&self) -> Matrix {
+        let lanes = self.lanes();
+        let rows = self.l + lanes * self.params.m;
+        let mut hexp = Matrix::zero(rows, self.l);
+        for g in 0..self.l {
+            hexp[(g, g)] = Gf256::ONE;
+        }
+        for p in 0..self.params.m {
+            for u in 0..lanes {
+                let row = self.l + p * lanes + u;
+                for j in 0..self.params.k {
+                    hexp[(row, self.sub_block_of(j, u))] = self.rs.coefficient(p, j);
+                }
+            }
+        }
+        hexp
+    }
+
+    /// Encodes an object: pads it to a multiple of `l`, splits it into
+    /// `l` sub-blocks, distributes them over `s` data nodes and computes
+    /// the `m` parity node payloads.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for valid parameters; kept fallible for uniformity
+    /// with [`Rs::encode`].
+    pub fn encode_object(&self, object: &[u8]) -> Result<SrsEncodedObject, CodeError> {
+        let sub = object.len().div_ceil(self.l);
+        let lanes = self.lanes();
+        let per_data = self.data_blocks_per_node();
+
+        // Split (with zero padding) into l sub-blocks.
+        let mut subs: Vec<Vec<u8>> = Vec::with_capacity(self.l);
+        for i in 0..self.l {
+            let start = (i * sub).min(object.len());
+            let end = ((i + 1) * sub).min(object.len());
+            let mut block = object[start..end].to_vec();
+            block.resize(sub, 0);
+            subs.push(block);
+        }
+
+        // Data node payloads: concatenation of the node's sub-blocks.
+        let mut data_nodes = Vec::with_capacity(self.params.s);
+        for i in 0..self.params.s {
+            let mut payload = Vec::with_capacity(per_data * sub);
+            for q in 0..per_data {
+                payload.extend_from_slice(&subs[i * per_data + q]);
+            }
+            data_nodes.push(payload);
+        }
+
+        // Parity node payloads, lane-wise.
+        let mut parity_nodes = vec![vec![0u8; lanes * sub]; self.params.m];
+        for (p, payload) in parity_nodes.iter_mut().enumerate() {
+            for u in 0..lanes {
+                let out = &mut payload[u * sub..(u + 1) * sub];
+                for j in 0..self.params.k {
+                    let g = self.sub_block_of(j, u);
+                    region::mul_acc(out, &subs[g], self.rs.coefficient(p, j));
+                }
+            }
+        }
+
+        Ok(SrsEncodedObject {
+            data_nodes,
+            parity_nodes,
+            sub_block: sub,
+            object_len: object.len(),
+        })
+    }
+
+    /// Reassembles the original object from the data node payloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length error if payload sizes are inconsistent.
+    pub fn reassemble(&self, enc: &SrsEncodedObject) -> Result<Vec<u8>, CodeError> {
+        let per_data = self.data_blocks_per_node();
+        let mut out = Vec::with_capacity(per_data * enc.sub_block * self.params.s);
+        for (i, payload) in enc.data_nodes.iter().enumerate() {
+            if payload.len() != per_data * enc.sub_block {
+                return Err(CodeError::BlockLengthMismatch {
+                    expected: per_data * enc.sub_block,
+                    actual: enc.data_nodes[i].len(),
+                });
+            }
+            out.extend_from_slice(payload);
+        }
+        out.truncate(enc.object_len);
+        Ok(out)
+    }
+
+    /// Reconstructs every missing node payload in place, lane by lane.
+    ///
+    /// `data` has `s` entries, `parity` has `m`; `None` marks a failed
+    /// node. Succeeds iff every lane retains at least `k` of its `k + m`
+    /// sub-blocks — which is why SRS can sometimes tolerate more than `m`
+    /// failures (Section 3.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughBlocks`] if some lane is short, and
+    /// count/length errors for malformed input.
+    pub fn reconstruct(
+        &self,
+        data: &mut [Option<Vec<u8>>],
+        parity: &mut [Option<Vec<u8>>],
+        sub_block: usize,
+    ) -> Result<(), CodeError> {
+        if data.len() != self.params.s {
+            return Err(CodeError::BlockCountMismatch {
+                expected: self.params.s,
+                actual: data.len(),
+            });
+        }
+        if parity.len() != self.params.m {
+            return Err(CodeError::BlockCountMismatch {
+                expected: self.params.m,
+                actual: parity.len(),
+            });
+        }
+        let per_data = self.data_blocks_per_node();
+        let lanes = self.lanes();
+        for d in data.iter().flatten() {
+            if d.len() != per_data * sub_block {
+                return Err(CodeError::BlockLengthMismatch {
+                    expected: per_data * sub_block,
+                    actual: d.len(),
+                });
+            }
+        }
+        for p in parity.iter().flatten() {
+            if p.len() != lanes * sub_block {
+                return Err(CodeError::BlockLengthMismatch {
+                    expected: lanes * sub_block,
+                    actual: p.len(),
+                });
+            }
+        }
+
+        let missing_data: Vec<usize> = (0..data.len()).filter(|&i| data[i].is_none()).collect();
+        let missing_parity: Vec<usize> =
+            (0..parity.len()).filter(|&i| parity[i].is_none()).collect();
+        if missing_data.is_empty() && missing_parity.is_empty() {
+            return Ok(());
+        }
+
+        // Reconstruct lane by lane with the base RS code.
+        let mut recovered_data: Vec<Vec<u8>> = missing_data
+            .iter()
+            .map(|_| vec![0u8; per_data * sub_block])
+            .collect();
+        let mut recovered_parity: Vec<Vec<u8>> = missing_parity
+            .iter()
+            .map(|_| vec![0u8; lanes * sub_block])
+            .collect();
+
+        for u in 0..lanes {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                Vec::with_capacity(self.params.k + self.params.m);
+            let mut lane_touched = false;
+            for j in 0..self.params.k {
+                let g = self.sub_block_of(j, u);
+                let (node, local) = self.node_of_sub_block(g);
+                match &data[node] {
+                    Some(payload) => shards.push(Some(
+                        payload[local * sub_block..(local + 1) * sub_block].to_vec(),
+                    )),
+                    None => {
+                        shards.push(None);
+                        lane_touched = true;
+                    }
+                }
+            }
+            for par in parity.iter().take(self.params.m) {
+                match par {
+                    Some(payload) => {
+                        shards.push(Some(payload[u * sub_block..(u + 1) * sub_block].to_vec()))
+                    }
+                    None => {
+                        shards.push(None);
+                        lane_touched = true;
+                    }
+                }
+            }
+            if !lane_touched {
+                continue;
+            }
+            self.rs.reconstruct(&mut shards)?;
+            // Copy recovered lane pieces back to the missing nodes.
+            for (slot, &node) in missing_data.iter().enumerate() {
+                for local in 0..per_data {
+                    let g = node * per_data + local;
+                    let (j, lane) = self.source_of_sub_block(g);
+                    if lane == u {
+                        let block = shards[j].as_ref().expect("reconstructed");
+                        recovered_data[slot][local * sub_block..(local + 1) * sub_block]
+                            .copy_from_slice(block);
+                    }
+                }
+            }
+            for (slot, &p) in missing_parity.iter().enumerate() {
+                let block = shards[self.params.k + p].as_ref().expect("reconstructed");
+                recovered_parity[slot][u * sub_block..(u + 1) * sub_block].copy_from_slice(block);
+            }
+        }
+
+        for (slot, &node) in missing_data.iter().enumerate() {
+            data[node] = Some(std::mem::take(&mut recovered_data[slot]));
+        }
+        for (slot, &p) in missing_parity.iter().enumerate() {
+            parity[p] = Some(std::mem::take(&mut recovered_parity[slot]));
+        }
+        Ok(())
+    }
+
+    /// Recovers the payload of a single lost data node.
+    ///
+    /// # Errors
+    ///
+    /// See [`SrsCode::reconstruct`].
+    pub fn recover_data_node(
+        &self,
+        lost: usize,
+        data: &[Option<Vec<u8>>],
+        parity: &[Option<Vec<u8>>],
+    ) -> Result<Vec<u8>, CodeError> {
+        if lost >= self.params.s {
+            return Err(CodeError::IndexOutOfRange {
+                index: lost,
+                bound: self.params.s,
+            });
+        }
+        let sub_block = self.infer_sub_block(data, parity)?;
+        let mut d: Vec<Option<Vec<u8>>> = data.to_vec();
+        if lost < d.len() {
+            d[lost] = None;
+        }
+        let mut p: Vec<Option<Vec<u8>>> = parity.to_vec();
+        self.reconstruct(&mut d, &mut p, sub_block)?;
+        Ok(d[lost].take().expect("reconstructed"))
+    }
+
+    /// Recovers the payload of a single lost parity node.
+    ///
+    /// # Errors
+    ///
+    /// See [`SrsCode::reconstruct`].
+    pub fn recover_parity_node(
+        &self,
+        lost: usize,
+        data: &[Option<Vec<u8>>],
+        parity: &[Option<Vec<u8>>],
+    ) -> Result<Vec<u8>, CodeError> {
+        if lost >= self.params.m {
+            return Err(CodeError::IndexOutOfRange {
+                index: lost,
+                bound: self.params.m,
+            });
+        }
+        let sub_block = self.infer_sub_block(data, parity)?;
+        let mut d: Vec<Option<Vec<u8>>> = data.to_vec();
+        let mut p: Vec<Option<Vec<u8>>> = parity.to_vec();
+        if lost < p.len() {
+            p[lost] = None;
+        }
+        self.reconstruct(&mut d, &mut p, sub_block)?;
+        Ok(p[lost].take().expect("reconstructed"))
+    }
+
+    fn infer_sub_block(
+        &self,
+        data: &[Option<Vec<u8>>],
+        parity: &[Option<Vec<u8>>],
+    ) -> Result<usize, CodeError> {
+        if let Some(d) = data.iter().flatten().next() {
+            return Ok(d.len() / self.data_blocks_per_node());
+        }
+        if let Some(p) = parity.iter().flatten().next() {
+            return Ok(p.len() / self.lanes());
+        }
+        Err(CodeError::NotEnoughBlocks {
+            needed: self.params.k,
+            available: 0,
+        })
+    }
+
+    /// Returns true if the code survives the given set of failed nodes.
+    ///
+    /// Node indices `0..s` are data nodes, `s..s+m` are parity nodes. The
+    /// pattern is tolerable iff every lane retains at least `k` of its
+    /// `k + m` sub-blocks. This is the `f_i` predicate of the paper's
+    /// Appendix A.2 Markov model.
+    pub fn tolerates(&self, failed: &[usize]) -> bool {
+        let lanes = self.lanes();
+        let is_failed = |n: usize| failed.contains(&n);
+        for u in 0..lanes {
+            let mut alive = 0;
+            for j in 0..self.params.k {
+                let (node, _) = self.node_of_sub_block(self.sub_block_of(j, u));
+                if !is_failed(node) {
+                    alive += 1;
+                }
+            }
+            for p in 0..self.params.m {
+                if !is_failed(self.params.s + p) {
+                    alive += 1;
+                }
+            }
+            if alive < self.params.k {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fraction of `i`-node failure patterns (out of all subsets of the
+    /// `s + m` nodes of size `i`) that the code survives — the `f_i`
+    /// array of Appendix A.2, computed by total enumeration.
+    pub fn survivable_fraction(&self, i: usize) -> f64 {
+        let n = self.params.s + self.params.m;
+        if i == 0 {
+            return 1.0;
+        }
+        if i > n {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        let mut ok = 0u64;
+        let mut combo: Vec<usize> = (0..i).collect();
+        loop {
+            total += 1;
+            if self.tolerates(&combo) {
+                ok += 1;
+            }
+            // Next combination.
+            let mut idx = i;
+            loop {
+                if idx == 0 {
+                    return ok as f64 / total as f64;
+                }
+                idx -= 1;
+                if combo[idx] != idx + n - i {
+                    combo[idx] += 1;
+                    for j in idx + 1..i {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn object(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SrsCode::new(3, 1, 2).is_err()); // s < k
+        assert!(SrsCode::new(0, 1, 3).is_err());
+        assert!(SrsCode::new(2, 1, 3).is_ok());
+    }
+
+    #[test]
+    fn srs_kmk_is_rs() {
+        // SRS(k, m, k) must produce exactly the RS(k, m) layout.
+        let srs = SrsCode::new(3, 2, 3).unwrap();
+        let rs = Rs::new(3, 2).unwrap();
+        let obj = object(300, 1);
+        let enc = srs.encode_object(&obj).unwrap();
+        let stripe = rs.encode_object(&obj).unwrap();
+        assert_eq!(enc.data_nodes, stripe.data);
+        assert_eq!(enc.parity_nodes, stripe.parity);
+    }
+
+    #[test]
+    fn paper_example_srs213() {
+        // The worked example of Section 3.3: l = 6, 2 blocks per data
+        // node, parity P~u = D~u ^ D~{u+3}.
+        let code = SrsCode::new(2, 1, 3).unwrap();
+        assert_eq!(code.l(), 6);
+        assert_eq!(code.data_blocks_per_node(), 2);
+        assert_eq!(code.lanes(), 3);
+
+        let obj = object(60, 7); // 6 sub-blocks of 10 bytes.
+        let enc = code.encode_object(&obj).unwrap();
+        assert_eq!(enc.sub_block, 10);
+        let sub = |i: usize| &obj[i * 10..(i + 1) * 10];
+        // Node payloads per Figure 1(b).
+        assert_eq!(&enc.data_nodes[0][..10], sub(0));
+        assert_eq!(&enc.data_nodes[0][10..], sub(1));
+        assert_eq!(&enc.data_nodes[1][..10], sub(2));
+        assert_eq!(&enc.data_nodes[1][10..], sub(3));
+        assert_eq!(&enc.data_nodes[2][..10], sub(4));
+        assert_eq!(&enc.data_nodes[2][10..], sub(5));
+        // Eqn. (4): P~1 = D~1 ^ D~4 etc. (1-based in the paper).
+        for u in 0..3 {
+            let expect: Vec<u8> = sub(u).iter().zip(sub(u + 3)).map(|(a, b)| a ^ b).collect();
+            assert_eq!(
+                &enc.parity_nodes[0][u * 10..(u + 1) * 10],
+                &expect[..],
+                "lane {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn expanded_matrix_matches_eqn5() {
+        // Eqn. (5): Hexp for SRS(2,1,3) has an identity top 6x6 block and
+        // parity rows with ones at columns (u, u+3).
+        let code = SrsCode::new(2, 1, 3).unwrap();
+        let hexp = code.expanded_matrix();
+        assert_eq!(hexp.rows(), 9);
+        assert_eq!(hexp.cols(), 6);
+        for r in 0..6 {
+            for c in 0..6 {
+                let expect = if r == c { Gf256::ONE } else { Gf256::ZERO };
+                assert_eq!(hexp[(r, c)], expect);
+            }
+        }
+        for u in 0..3 {
+            for c in 0..6 {
+                let expect = if c == u || c == u + 3 {
+                    code.rs().coefficient(0, c / 3)
+                } else {
+                    Gf256::ZERO
+                };
+                assert_eq!(hexp[(6 + u, c)], expect, "parity row {u}, col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_reassemble_round_trip() {
+        for (k, m, s) in [
+            (2, 1, 3),
+            (3, 1, 3),
+            (3, 2, 3),
+            (2, 1, 4),
+            (3, 2, 6),
+            (4, 3, 6),
+        ] {
+            let code = SrsCode::new(k, m, s).unwrap();
+            for len in [0usize, 1, 5, 64, 100, 1024, 4096] {
+                let obj = object(len, (k * 7 + m) as u8);
+                let enc = code.encode_object(&obj).unwrap();
+                assert_eq!(
+                    code.reassemble(&enc).unwrap(),
+                    obj,
+                    "SRS({k},{m},{s}) len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recover_any_single_data_node() {
+        for (k, m, s) in [(2, 1, 3), (3, 1, 3), (3, 2, 3), (2, 1, 4), (3, 2, 6)] {
+            let code = SrsCode::new(k, m, s).unwrap();
+            let obj = object(997, 3);
+            let enc = code.encode_object(&obj).unwrap();
+            let parity: Vec<Option<Vec<u8>>> = enc.parity_nodes.iter().cloned().map(Some).collect();
+            for lost in 0..s {
+                let mut data: Vec<Option<Vec<u8>>> =
+                    enc.data_nodes.iter().cloned().map(Some).collect();
+                data[lost] = None;
+                let rec = code.recover_data_node(lost, &data, &parity).unwrap();
+                assert_eq!(rec, enc.data_nodes[lost], "SRS({k},{m},{s}) lost {lost}");
+            }
+        }
+    }
+
+    #[test]
+    fn recover_parity_node() {
+        let code = SrsCode::new(3, 2, 6).unwrap();
+        let obj = object(777, 4);
+        let enc = code.encode_object(&obj).unwrap();
+        let data: Vec<Option<Vec<u8>>> = enc.data_nodes.iter().cloned().map(Some).collect();
+        for lost in 0..2 {
+            let mut parity: Vec<Option<Vec<u8>>> =
+                enc.parity_nodes.iter().cloned().map(Some).collect();
+            parity[lost] = None;
+            let rec = code.recover_parity_node(lost, &data, &parity).unwrap();
+            assert_eq!(rec, enc.parity_nodes[lost]);
+        }
+    }
+
+    #[test]
+    fn recover_m_simultaneous_failures() {
+        let code = SrsCode::new(3, 2, 6).unwrap();
+        let obj = object(600, 5);
+        let enc = code.encode_object(&obj).unwrap();
+        // Lose one data node and one parity node at once.
+        let mut data: Vec<Option<Vec<u8>>> = enc.data_nodes.iter().cloned().map(Some).collect();
+        let mut parity: Vec<Option<Vec<u8>>> = enc.parity_nodes.iter().cloned().map(Some).collect();
+        data[2] = None;
+        parity[0] = None;
+        code.reconstruct(&mut data, &mut parity, enc.sub_block)
+            .unwrap();
+        assert_eq!(data[2].as_ref().unwrap(), &enc.data_nodes[2]);
+        assert_eq!(parity[0].as_ref().unwrap(), &enc.parity_nodes[0]);
+    }
+
+    #[test]
+    fn srs214_tolerates_independent_double_failure() {
+        // The paper: SRS(2,1,4) tolerates two simultaneous failures when
+        // the two failed data nodes hold independent blocks.
+        let code = SrsCode::new(2, 1, 4).unwrap();
+        // l = 4, one sub-block per node, lanes = 2. Lane 0 spans nodes
+        // {0, 2}, lane 1 spans nodes {1, 3}. A double failure is
+        // tolerable iff the two failed nodes sit in different lanes
+        // (independent blocks): 4 of the 6 data pairs, 2/5 of all pairs.
+        assert!(code.tolerates(&[0, 1]));
+        assert!(code.tolerates(&[0, 3]));
+        assert!(code.tolerates(&[1, 2]));
+        assert!(code.tolerates(&[2, 3]));
+        assert!(!code.tolerates(&[0, 2])); // Both blocks of lane 0.
+        assert!(!code.tolerates(&[1, 3])); // Both blocks of lane 1.
+        assert!(!code.tolerates(&[0, 4])); // Data + the only parity.
+                                           // Cross-check the predicate against actual reconstruction.
+        let enc = code.encode_object(&object(400, 6)).unwrap();
+        for a in 0..5 {
+            for b in a + 1..5 {
+                let mut data: Vec<Option<Vec<u8>>> =
+                    enc.data_nodes.iter().cloned().map(Some).collect();
+                let mut parity: Vec<Option<Vec<u8>>> =
+                    enc.parity_nodes.iter().cloned().map(Some).collect();
+                for &x in &[a, b] {
+                    if x < 4 {
+                        data[x] = None;
+                    } else {
+                        parity[x - 4] = None;
+                    }
+                }
+                let outcome = code.reconstruct(&mut data, &mut parity, enc.sub_block);
+                assert_eq!(
+                    outcome.is_ok(),
+                    code.tolerates(&[a, b]),
+                    "pattern ({a},{b}) predicate/reconstruct disagree"
+                );
+                if outcome.is_ok() {
+                    for (d, expect) in data.iter().zip(&enc.data_nodes) {
+                        assert_eq!(d.as_ref().unwrap(), expect);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn survivable_fraction_boundaries() {
+        let code = SrsCode::new(2, 1, 4).unwrap();
+        assert_eq!(code.survivable_fraction(0), 1.0);
+        assert_eq!(code.survivable_fraction(1), 1.0); // m = 1 always survives 1.
+        let f2 = code.survivable_fraction(2);
+        assert!(
+            f2 > 0.0 && f2 < 1.0,
+            "SRS(2,1,4) partially survives 2 failures: {f2}"
+        );
+        assert_eq!(code.survivable_fraction(5), 0.0);
+        assert_eq!(code.survivable_fraction(9), 0.0);
+    }
+
+    #[test]
+    fn survivable_fraction_matches_paper_214() {
+        // SRS(2,1,4): tolerates a second failure with probability 2/5
+        // (the paper's Appendix A.2 example transition 5λ·2/5).
+        let code = SrsCode::new(2, 1, 4).unwrap();
+        let f1 = code.survivable_fraction(1);
+        let f2 = code.survivable_fraction(2);
+        // p1 = f2/f1 must equal 2/5.
+        let p1 = f2 / f1;
+        assert!((p1 - 0.4).abs() < 1e-12, "p1 = {p1}");
+    }
+
+    #[test]
+    fn storage_overhead_values() {
+        assert_eq!(
+            SrsCode::new(3, 2, 3).unwrap().storage_overhead(),
+            1.0 + 2.0 / 3.0
+        );
+        assert_eq!(SrsCode::new(2, 1, 4).unwrap().storage_overhead(), 1.5);
+    }
+
+    #[test]
+    fn empty_object_is_representable() {
+        let code = SrsCode::new(3, 2, 6).unwrap();
+        let enc = code.encode_object(&[]).unwrap();
+        assert_eq!(enc.sub_block, 0);
+        assert_eq!(code.reassemble(&enc).unwrap(), Vec::<u8>::new());
+    }
+}

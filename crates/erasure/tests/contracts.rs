@@ -1,0 +1,176 @@
+//! Contract tests for the coding API surface: error display, parameter
+//! accessors, layout arithmetic invariants.
+
+use ring_erasure::{gcd, lcm, CodeError, Rs, SrsCode, SrsLayout, SrsParams};
+
+#[test]
+fn code_error_display() {
+    assert!(CodeError::InvalidParameters("k".into())
+        .to_string()
+        .contains("invalid code parameters"));
+    assert!(CodeError::BlockLengthMismatch {
+        expected: 4,
+        actual: 5
+    }
+    .to_string()
+    .contains("expected 4"));
+    assert!(CodeError::BlockCountMismatch {
+        expected: 3,
+        actual: 1
+    }
+    .to_string()
+    .contains("count"));
+    assert!(CodeError::NotEnoughBlocks {
+        needed: 3,
+        available: 2
+    }
+    .to_string()
+    .contains("need 3"));
+    assert!(CodeError::IndexOutOfRange { index: 9, bound: 3 }
+        .to_string()
+        .contains("9"));
+    assert_eq!(
+        CodeError::Unrecoverable.to_string(),
+        "failure pattern is unrecoverable"
+    );
+}
+
+#[test]
+fn srs_params_display() {
+    let p = SrsParams { k: 3, m: 2, s: 6 };
+    assert_eq!(p.to_string(), "SRS(3,2,6)");
+}
+
+#[test]
+fn accessors_are_consistent() {
+    let code = SrsCode::new(3, 2, 6).unwrap();
+    assert_eq!(code.params(), SrsParams { k: 3, m: 2, s: 6 });
+    assert_eq!(code.l(), 6);
+    assert_eq!(code.data_blocks_per_node(), 1);
+    assert_eq!(code.lanes(), 2);
+    assert_eq!(code.rs().k(), 3);
+    assert_eq!(code.rs().m(), 2);
+    // l = data_blocks_per_node * s = lanes * k always.
+    for (k, m, s) in [(2usize, 1usize, 3usize), (3, 1, 5), (4, 3, 7)] {
+        let c = SrsCode::new(k, m, s).unwrap();
+        assert_eq!(c.data_blocks_per_node() * s, c.l());
+        assert_eq!(c.lanes() * k, c.l());
+    }
+}
+
+#[test]
+fn sub_block_maps_are_inverse() {
+    let code = SrsCode::new(3, 2, 6).unwrap();
+    for g in 0..code.l() {
+        let (j, u) = code.source_of_sub_block(g);
+        assert_eq!(code.sub_block_of(j, u), g);
+        let (node, local) = code.node_of_sub_block(g);
+        assert_eq!(node * code.data_blocks_per_node() + local, g);
+    }
+}
+
+#[test]
+fn rs_coding_matrix_shape() {
+    let rs = Rs::new(4, 2).unwrap();
+    let h = rs.coding_matrix();
+    assert_eq!(h.rows(), 6);
+    assert_eq!(h.cols(), 4);
+    // First parity row is all ones (the XOR normalisation).
+    for j in 0..4 {
+        assert_eq!(rs.coefficient(0, j), ring_gf::Gf256::ONE);
+    }
+    // First column of the generator is all ones too.
+    assert_eq!(rs.coefficient(1, 0), ring_gf::Gf256::ONE);
+}
+
+#[test]
+fn layout_accessors() {
+    let code = SrsCode::new(2, 1, 3).unwrap();
+    let layout = SrsLayout::new(code, 64).unwrap();
+    assert_eq!(layout.block_size(), 64);
+    assert_eq!(layout.data_period(), 128);
+    assert_eq!(layout.parity_period(), 192);
+    assert_eq!(layout.code().params().s, 3);
+}
+
+#[test]
+fn layout_split_covers_range_without_gaps() {
+    let code = SrsCode::new(3, 2, 6).unwrap();
+    let layout = SrsLayout::new(code, 32).unwrap();
+    for node in 0..6 {
+        for (addr, len) in [(0usize, 200usize), (17, 99), (31, 1), (32, 64), (100, 300)] {
+            let segs = layout.split_range(node, addr, len);
+            let mut cursor = addr;
+            for seg in &segs {
+                assert_eq!(seg.data_addr, cursor, "gap at node {node} addr {addr}");
+                assert!(seg.len > 0);
+                // Never crosses a block boundary.
+                let start_block = seg.data_addr / 32;
+                let end_block = (seg.data_addr + seg.len - 1) / 32;
+                assert_eq!(start_block, end_block, "segment crosses a block");
+                cursor += seg.len;
+            }
+            assert_eq!(cursor, addr + len, "total length mismatch");
+        }
+    }
+}
+
+#[test]
+fn layout_parity_addresses_stay_in_lane() {
+    let code = SrsCode::new(2, 1, 4).unwrap();
+    let layout = SrsLayout::new(code, 16).unwrap();
+    for node in 0..4 {
+        for seg in layout.split_range(node, 0, 64) {
+            let lane_of_parity = (seg.parity_addr % layout.parity_period()) / 16;
+            assert_eq!(lane_of_parity, seg.lane);
+        }
+    }
+}
+
+#[test]
+fn gcd_lcm_identities() {
+    for a in 1..=12usize {
+        for b in 1..=12usize {
+            assert_eq!(gcd(a, b) * lcm(a, b), a * b, "a={a} b={b}");
+            assert_eq!(gcd(a, b), gcd(b, a));
+        }
+    }
+}
+
+#[test]
+fn storage_overhead_ordering() {
+    // More parity per data block = more overhead; stretching never
+    // changes it.
+    let base = SrsCode::new(3, 1, 3).unwrap().storage_overhead();
+    let more_parity = SrsCode::new(3, 2, 3).unwrap().storage_overhead();
+    let stretched = SrsCode::new(3, 1, 7).unwrap().storage_overhead();
+    assert!(more_parity > base);
+    assert_eq!(base, stretched);
+}
+
+#[test]
+fn reassemble_rejects_wrong_payload_sizes() {
+    let code = SrsCode::new(2, 1, 3).unwrap();
+    let mut enc = code.encode_object(&[1, 2, 3, 4, 5, 6]).unwrap();
+    enc.data_nodes[1].pop();
+    assert!(matches!(
+        code.reassemble(&enc),
+        Err(CodeError::BlockLengthMismatch { .. })
+    ));
+}
+
+#[test]
+fn recover_rejects_out_of_range_indices() {
+    let code = SrsCode::new(2, 1, 3).unwrap();
+    let enc = code.encode_object(&[9u8; 60]).unwrap();
+    let data: Vec<Option<Vec<u8>>> = enc.data_nodes.iter().cloned().map(Some).collect();
+    let parity: Vec<Option<Vec<u8>>> = enc.parity_nodes.iter().cloned().map(Some).collect();
+    assert!(matches!(
+        code.recover_data_node(9, &data, &parity),
+        Err(CodeError::IndexOutOfRange { index: 9, .. })
+    ));
+    assert!(matches!(
+        code.recover_parity_node(5, &data, &parity),
+        Err(CodeError::IndexOutOfRange { index: 5, .. })
+    ));
+}

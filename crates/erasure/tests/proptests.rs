@@ -1,0 +1,186 @@
+//! Property-based tests for RS and SRS codes.
+
+use proptest::prelude::*;
+use ring_erasure::{Rs, SrsCode};
+
+/// Small, valid (k, m, s) triples.
+fn srs_params() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=5, 1usize..=3, 0usize..=4).prop_map(|(k, m, extra)| (k, m, k + extra))
+}
+
+fn rs_params() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=6, 1usize..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rs_object_round_trip((k, m) in rs_params(), obj in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let rs = Rs::new(k, m).unwrap();
+        let stripe = rs.encode_object(&obj).unwrap();
+        prop_assert_eq!(rs.reassemble(&stripe), obj);
+    }
+
+    #[test]
+    fn rs_recovers_any_m_losses(
+        (k, m) in rs_params(),
+        obj in proptest::collection::vec(any::<u8>(), 1..256),
+        loss_seed in any::<u64>(),
+    ) {
+        let rs = Rs::new(k, m).unwrap();
+        let stripe = rs.encode_object(&obj).unwrap();
+        let all: Vec<Vec<u8>> = stripe.data.iter().chain(stripe.parity.iter()).cloned().collect();
+        // Pick m distinct losses deterministically from the seed.
+        let n = k + m;
+        let mut lost = vec![];
+        let mut state = loss_seed | 1;
+        while lost.len() < m {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (state >> 33) as usize % n;
+            if !lost.contains(&idx) {
+                lost.push(idx);
+            }
+        }
+        let mut shards: Vec<Option<Vec<u8>>> = all.iter().cloned().map(Some).collect();
+        for &i in &lost {
+            shards[i] = None;
+        }
+        rs.reconstruct(&mut shards).unwrap();
+        for (i, s) in shards.iter().enumerate() {
+            prop_assert_eq!(s.as_ref().unwrap(), &all[i]);
+        }
+    }
+
+    #[test]
+    fn rs_delta_update_consistency(
+        (k, m) in rs_params(),
+        len in 1usize..128,
+        which in any::<usize>(),
+        mask in 1u8..,
+    ) {
+        let rs = Rs::new(k, m).unwrap();
+        let obj: Vec<u8> = (0..len * k).map(|i| i as u8).collect();
+        let stripe = rs.encode_object(&obj).unwrap();
+        let target = which % k;
+        let mut new_data = stripe.data.clone();
+        for b in new_data[target].iter_mut() {
+            *b ^= mask;
+        }
+        let delta = ring_gf::region::delta(&stripe.data[target], &new_data[target]);
+        let mut parity = stripe.parity.clone();
+        for (p, block) in parity.iter_mut().enumerate() {
+            let pd = rs.parity_delta(p, target, &delta);
+            Rs::apply_parity_delta(block, &pd);
+        }
+        let refs: Vec<&[u8]> = new_data.iter().map(|b| b.as_slice()).collect();
+        prop_assert_eq!(rs.encode(&refs).unwrap(), parity);
+    }
+
+    #[test]
+    fn srs_round_trip((k, m, s) in srs_params(), obj in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let code = SrsCode::new(k, m, s).unwrap();
+        let enc = code.encode_object(&obj).unwrap();
+        prop_assert_eq!(code.reassemble(&enc).unwrap(), obj);
+    }
+
+    #[test]
+    fn srs_single_data_node_recovery(
+        (k, m, s) in srs_params(),
+        obj in proptest::collection::vec(any::<u8>(), 1..512),
+        which in any::<usize>(),
+    ) {
+        let code = SrsCode::new(k, m, s).unwrap();
+        let enc = code.encode_object(&obj).unwrap();
+        let lost = which % s;
+        let mut data: Vec<Option<Vec<u8>>> = enc.data_nodes.iter().cloned().map(Some).collect();
+        data[lost] = None;
+        let parity: Vec<Option<Vec<u8>>> = enc.parity_nodes.iter().cloned().map(Some).collect();
+        let rec = code.recover_data_node(lost, &data, &parity).unwrap();
+        prop_assert_eq!(rec, enc.data_nodes[lost].clone());
+    }
+
+    #[test]
+    fn srs_tolerates_matches_reconstruct(
+        (k, m, s) in srs_params(),
+        pattern in any::<u16>(),
+    ) {
+        // For every failure pattern, the tolerates() predicate must agree
+        // with whether lane-wise reconstruction actually succeeds.
+        let code = SrsCode::new(k, m, s).unwrap();
+        let n = s + m;
+        let failed: Vec<usize> = (0..n).filter(|i| pattern & (1 << i) != 0).collect();
+        let obj: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        let enc = code.encode_object(&obj).unwrap();
+        let mut data: Vec<Option<Vec<u8>>> = enc.data_nodes.iter().cloned().map(Some).collect();
+        let mut parity: Vec<Option<Vec<u8>>> = enc.parity_nodes.iter().cloned().map(Some).collect();
+        for &f in &failed {
+            if f < s {
+                data[f] = None;
+            } else {
+                parity[f - s] = None;
+            }
+        }
+        let outcome = code.reconstruct(&mut data, &mut parity, enc.sub_block);
+        prop_assert_eq!(outcome.is_ok(), code.tolerates(&failed));
+        if outcome.is_ok() {
+            for (d, expect) in data.iter().zip(&enc.data_nodes) {
+                prop_assert_eq!(d.as_ref().unwrap(), expect);
+            }
+            for (p, expect) in parity.iter().zip(&enc.parity_nodes) {
+                prop_assert_eq!(p.as_ref().unwrap(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn srs_expanded_matrix_encodes_like_encode_object(
+        (k, m, s) in srs_params(),
+        obj in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        // Multiplying the sub-block vector by Hexp (Eqn. 2) must produce
+        // exactly the node payloads from encode_object.
+        let code = SrsCode::new(k, m, s).unwrap();
+        let enc = code.encode_object(&obj).unwrap();
+        let l = code.l();
+        let sub = enc.sub_block;
+        let hexp = code.expanded_matrix();
+
+        // Build the padded sub-block vector.
+        let mut padded = obj.clone();
+        padded.resize(l * sub, 0);
+
+        // For each byte offset, multiply Hexp by the vector of bytes.
+        for off in 0..sub {
+            for row in 0..hexp.rows() {
+                let mut acc = ring_gf::Gf256::ZERO;
+                for col in 0..l {
+                    acc += hexp[(row, col)] * ring_gf::Gf256(padded[col * sub + off]);
+                }
+                let actual = if row < l {
+                    let (node, local) = code.node_of_sub_block(row);
+                    enc.data_nodes[node][local * sub + off]
+                } else {
+                    let pr = row - l;
+                    let p = pr / code.lanes();
+                    let u = pr % code.lanes();
+                    enc.parity_nodes[p][u * sub + off]
+                };
+                prop_assert_eq!(acc, ring_gf::Gf256(actual), "row {} off {}", row, off);
+            }
+        }
+    }
+
+    #[test]
+    fn survivable_fraction_is_monotone((k, m, s) in srs_params()) {
+        let code = SrsCode::new(k, m, s).unwrap();
+        let mut prev = 1.0f64;
+        for i in 0..=(s + m) {
+            let f = code.survivable_fraction(i);
+            prop_assert!(f <= prev + 1e-12, "f_{i} = {} > f_{} = {}", f, i.saturating_sub(1), prev);
+            prev = f;
+        }
+        // Always tolerates m failures (MDS), never more than s + m.
+        prop_assert_eq!(code.survivable_fraction(m), 1.0);
+    }
+}

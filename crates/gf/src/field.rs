@@ -1,0 +1,286 @@
+//! Scalar arithmetic in GF(2^8).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::tables::{EXP, LOG, MUL};
+
+/// An element of GF(2^8) with reduction polynomial `0x11D`.
+///
+/// Addition and subtraction are both XOR; multiplication and division go
+/// through exp/log tables. Division by zero panics, mirroring integer
+/// division (see [`Gf256::checked_inv`] for the fallible form).
+///
+/// # Examples
+///
+/// ```
+/// use ring_gf::Gf256;
+///
+/// let a = Gf256(7);
+/// assert_eq!(a - a, Gf256::ZERO);
+/// assert_eq!(a * a.inv(), Gf256::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The generator `x` of the multiplicative group.
+    pub const GENERATOR: Gf256 = Gf256(2);
+
+    /// Returns `2^i` (the generator raised to `i`), wrapping every 255.
+    #[inline]
+    pub fn exp(i: usize) -> Gf256 {
+        Gf256(EXP[i % 255])
+    }
+
+    /// Returns the discrete logarithm base 2.
+    ///
+    /// Returns `None` for zero, which has no logarithm.
+    #[inline]
+    pub fn log(self) -> Option<u16> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(LOG[self.0 as usize])
+        }
+    }
+
+    /// Raises `self` to the power `n`.
+    ///
+    /// `0^0` is defined as `1`, matching the usual erasure-coding
+    /// convention for Vandermonde matrices.
+    pub fn pow(self, n: usize) -> Gf256 {
+        if n == 0 {
+            return Gf256::ONE;
+        }
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let log = LOG[self.0 as usize] as usize;
+        Gf256(EXP[(log * n) % 255])
+    }
+
+    /// Returns the multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[inline]
+    pub fn inv(self) -> Gf256 {
+        self.checked_inv().expect("inverse of zero in GF(2^8)")
+    }
+
+    /// Returns the multiplicative inverse, or `None` for zero.
+    #[inline]
+    pub fn checked_inv(self) -> Option<Gf256> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Gf256(EXP[255 - LOG[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Returns true if this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+// In GF(2^8), addition/subtraction are XOR and division is inverse
+// multiplication — clippy's suspicion is the field's definition.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl Add for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+// In GF(2^8), addition/subtraction are XOR and division is inverse
+// multiplication — clippy's suspicion is the field's definition.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl AddAssign for Gf256 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+// In GF(2^8), addition/subtraction are XOR and division is inverse
+// multiplication — clippy's suspicion is the field's definition.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl Sub for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        // Characteristic 2: subtraction is addition.
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+// In GF(2^8), addition/subtraction are XOR and division is inverse
+// multiplication — clippy's suspicion is the field's definition.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl SubAssign for Gf256 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn neg(self) -> Gf256 {
+        self
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    #[inline]
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256(MUL[self.0 as usize][rhs.0 as usize])
+    }
+}
+
+impl MulAssign for Gf256 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+// In GF(2^8), addition/subtraction are XOR and division is inverse
+// multiplication — clippy's suspicion is the field's definition.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    #[inline]
+    fn div(self, rhs: Gf256) -> Gf256 {
+        self * rhs.inv()
+    }
+}
+
+// In GF(2^8), addition/subtraction are XOR and division is inverse
+// multiplication — clippy's suspicion is the field's definition.
+#[allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+impl DivAssign for Gf256 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02X})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02X}", self.0)
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(v: u8) -> Gf256 {
+        Gf256(v)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(v: Gf256) -> u8 {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor() {
+        assert_eq!(Gf256(0b1010) + Gf256(0b0110), Gf256(0b1100));
+        assert_eq!(Gf256(0xFF) + Gf256(0xFF), Gf256::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_identity_and_zero() {
+        for v in 0..=255u8 {
+            let x = Gf256(v);
+            assert_eq!(x * Gf256::ONE, x);
+            assert_eq!(x * Gf256::ZERO, Gf256::ZERO);
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_an_inverse() {
+        for v in 1..=255u8 {
+            let x = Gf256(v);
+            assert_eq!(x * x.inv(), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn checked_inv_of_zero_is_none() {
+        assert_eq!(Gf256::ZERO.checked_inv(), None);
+        assert_eq!(Gf256::ZERO.log(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn inv_of_zero_panics() {
+        let _ = Gf256::ZERO.inv();
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for v in [0u8, 1, 2, 3, 0x1D, 0x80, 0xFF] {
+            let x = Gf256(v);
+            let mut acc = Gf256::ONE;
+            for n in 0..20 {
+                assert_eq!(x.pow(n), acc, "base {v} exponent {n}");
+                acc *= x;
+            }
+        }
+    }
+
+    #[test]
+    fn pow_zero_conventions() {
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(5), Gf256::ZERO);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut x = Gf256::ONE;
+        for i in 1..=255 {
+            x *= Gf256::GENERATOR;
+            if i < 255 {
+                assert_ne!(x, Gf256::ONE, "order divides {i}");
+            }
+        }
+        assert_eq!(x, Gf256::ONE);
+    }
+
+    #[test]
+    fn division_round_trips() {
+        for a in 1..=255u8 {
+            for b in [1u8, 2, 7, 0x53, 0xFF] {
+                let q = Gf256(a) / Gf256(b);
+                assert_eq!(q * Gf256(b), Gf256(a));
+            }
+        }
+    }
+}

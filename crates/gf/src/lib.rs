@@ -1,0 +1,33 @@
+//! Galois-field arithmetic for Reed-Solomon style erasure coding.
+//!
+//! This crate is the reproduction's stand-in for the GF-Complete library
+//! used by the Ring paper (Taranov et al., EuroSys'18). It provides:
+//!
+//! - [`Gf256`]: scalar arithmetic in GF(2^8) with the standard `0x11D`
+//!   reduction polynomial, implemented with compile-time exp/log tables.
+//! - [`region`]: bulk operations over byte slices (XOR, multiply by a
+//!   constant, multiply-accumulate) — the inner loops of encoding,
+//!   decoding and parity-delta updates.
+//! - [`Matrix`]: small dense matrices over GF(2^8) with multiplication,
+//!   Gaussian-elimination inversion, and Vandermonde-derived systematic
+//!   generator construction (the `H = [I; G]` matrix of Eqn. (1) in the
+//!   paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use ring_gf::Gf256;
+//!
+//! let a = Gf256(0x02);
+//! let b = Gf256(0x8E);
+//! assert_eq!(a * b, Gf256(0x01)); // 0x02 and 0x8E are inverses mod 0x11D.
+//! assert_eq!(a + b, Gf256(0x02 ^ 0x8E));
+//! ```
+
+mod field;
+mod matrix;
+pub mod region;
+mod tables;
+
+pub use field::Gf256;
+pub use matrix::{Matrix, MatrixError};

@@ -1,0 +1,473 @@
+//! Small dense matrices over GF(2^8).
+//!
+//! Erasure-code matrices are tiny (at most a few dozen rows), so a simple
+//! row-major `Vec<Gf256>` with O(n^3) Gaussian elimination is both clear
+//! and plenty fast; the bulk data work happens in [`crate::region`].
+
+use std::fmt;
+
+use crate::Gf256;
+
+/// Errors from matrix construction and linear algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixError {
+    /// The matrix is singular and cannot be inverted.
+    Singular,
+    /// Operand dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Rows/cols of the left operand.
+        left: (usize, usize),
+        /// Rows/cols of the right operand.
+        right: (usize, usize),
+    },
+    /// A non-square matrix was passed where a square one is required.
+    NotSquare,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatrixError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// A dense row-major matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf256>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the n-by-n identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = Gf256::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice of raw field bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[u8]) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.iter().map(|&b| Gf256(b)).collect(),
+        }
+    }
+
+    /// Creates the `rows`-by-`cols` Vandermonde matrix `V[i][j] = x_i^j`
+    /// with distinct evaluation points `x_i = i`.
+    ///
+    /// Any `cols` rows form a square Vandermonde matrix with distinct
+    /// points and are therefore linearly independent — the property RS
+    /// generator construction relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > 256` (the field has only 256 distinct points).
+    pub fn vandermonde(rows: usize, cols: usize) -> Matrix {
+        assert!(rows <= 256, "at most 256 distinct evaluation points");
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = Gf256(i as u8).pow(j);
+            }
+        }
+        m
+    }
+
+    /// Builds the systematic `(k + m) x k` coding matrix `H = [I; G]` of
+    /// the paper's Eqn. (1).
+    ///
+    /// Starting from a `(k + m) x k` Vandermonde matrix `V` (any `k` of
+    /// whose rows are independent), right-multiplying by the inverse of
+    /// its top `k x k` block yields `H = V * (V_top)^-1`. The top block
+    /// becomes the identity, and since right-multiplication by an
+    /// invertible matrix preserves row independence, every `k x k`
+    /// submatrix of `H` stays invertible — the MDS property.
+    ///
+    /// The generator block `G` is then normalised so its first row and
+    /// first column are all ones. Scaling a parity row by a non-zero
+    /// constant, or scaling column `j` of `G` alone (any chosen `k x k`
+    /// submatrix's determinant merely picks up non-zero factors), both
+    /// preserve the MDS property. The normalisation makes the first
+    /// parity of every code a plain XOR of the data blocks — the
+    /// convention of the paper's Eqn. (4) and of RAID-5-style codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k + m > 256` (field size limit).
+    pub fn systematic(k: usize, m: usize) -> Matrix {
+        assert!(k > 0, "k must be positive");
+        assert!(k + m <= 256, "k + m must fit the field (<= 256)");
+        let v = Matrix::vandermonde(k + m, k);
+        let top_rows: Vec<usize> = (0..k).collect();
+        let top_inv = v
+            .select_rows(&top_rows)
+            .invert()
+            .expect("square Vandermonde with distinct points is invertible");
+        let mut h = v.mul(&top_inv).expect("dimensions match by construction");
+        if m > 0 {
+            // MDS implies every entry of G is non-zero (each is a 1x1
+            // minor of some k x k submatrix), so the inverses exist.
+            for j in 0..k {
+                let scale = h[(k, j)].inv();
+                for p in 0..m {
+                    h[(k + p, j)] *= scale;
+                }
+            }
+            for p in 1..m {
+                let scale = h[(k + p, 0)].inv();
+                for j in 0..k {
+                    h[(k + p, j)] *= scale;
+                }
+            }
+        }
+        h
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns a view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[Gf256] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Swaps two rows.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// Swaps two columns.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for r in 0..self.rows {
+            self.data.swap(r * self.cols + a, r * self.cols + b);
+        }
+    }
+
+    /// Returns a new matrix containing the selected rows, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or `indices` is empty.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        assert!(!indices.is_empty(), "must select at least one row");
+        let mut m = Matrix::zero(indices.len(), self.cols);
+        for (out, &src) in indices.iter().enumerate() {
+            assert!(src < self.rows, "row {src} out of bounds");
+            for c in 0..self.cols {
+                m[(out, c)] = self[(src, c)];
+            }
+        }
+        m
+    }
+
+    /// Matrix multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::DimensionMismatch`] if `self.cols != rhs.rows`.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::DimensionMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self[(i, l)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let add = a * rhs[(l, j)];
+                    out[(i, j)] += add;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverts a square matrix by Gauss-Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::NotSquare`] for non-square input and
+    /// [`MatrixError::Singular`] if no inverse exists.
+    pub fn invert(&self) -> Result<Matrix, MatrixError> {
+        if self.rows != self.cols {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            let pivot = (col..n)
+                .find(|&r| !a[(r, col)].is_zero())
+                .ok_or(MatrixError::Singular)?;
+            a.swap_rows(col, pivot);
+            inv.swap_rows(col, pivot);
+            let scale = a[(col, col)].inv();
+            for c in 0..n {
+                a[(col, c)] *= scale;
+                inv[(col, c)] *= scale;
+            }
+            for r in 0..n {
+                if r != col && !a[(r, col)].is_zero() {
+                    let factor = a[(r, col)];
+                    for c in 0..n {
+                        let asub = a[(col, c)] * factor;
+                        a[(r, c)] += asub;
+                        let isub = inv[(col, c)] * factor;
+                        inv[(r, c)] += isub;
+                    }
+                }
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Returns the rank of the matrix (via row echelon reduction of a copy).
+    pub fn rank(&self) -> usize {
+        let mut a = self.clone();
+        let mut rank = 0;
+        for col in 0..a.cols {
+            if rank == a.rows {
+                break;
+            }
+            if let Some(pivot) = (rank..a.rows).find(|&r| !a[(r, col)].is_zero()) {
+                a.swap_rows(rank, pivot);
+                let scale = a[(rank, col)].inv();
+                for c in 0..a.cols {
+                    a[(rank, c)] *= scale;
+                }
+                for r in 0..a.rows {
+                    if r != rank && !a[(r, col)].is_zero() {
+                        let factor = a[(r, col)];
+                        for c in 0..a.cols {
+                            let sub = a[(rank, c)] * factor;
+                            a[(r, c)] += sub;
+                        }
+                    }
+                }
+                rank += 1;
+            }
+        }
+        rank
+    }
+
+    /// Returns true if every `cols x cols` submatrix formed from distinct
+    /// rows is invertible — the MDS check, feasible for the small shapes
+    /// used in tests.
+    pub fn is_mds(&self) -> bool {
+        let k = self.cols;
+        let mut combo: Vec<usize> = (0..k).collect();
+        loop {
+            if self.select_rows(&combo).invert().is_err() {
+                return false;
+            }
+            // Advance to the next k-combination of rows.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return true;
+                }
+                i -= 1;
+                if combo[i] != i + self.rows - k {
+                    combo[i] += 1;
+                    for j in i + 1..k {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = Gf256;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Gf256 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Gf256 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_neutral() {
+        let m = Matrix::vandermonde(4, 4);
+        let i = Matrix::identity(4);
+        assert_eq!(m.mul(&i).unwrap(), m);
+        assert_eq!(i.mul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        for n in 1..=8 {
+            let m = Matrix::vandermonde(n, n);
+            let inv = m.invert().expect("vandermonde invertible");
+            assert_eq!(m.mul(&inv).unwrap(), Matrix::identity(n));
+            assert_eq!(inv.mul(&m).unwrap(), Matrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let mut m = Matrix::zero(2, 2);
+        m[(0, 0)] = Gf256::ONE;
+        m[(0, 1)] = Gf256(2);
+        m[(1, 0)] = Gf256::ONE;
+        m[(1, 1)] = Gf256(2);
+        assert_eq!(m.invert().unwrap_err(), MatrixError::Singular);
+        assert_eq!(m.rank(), 1);
+    }
+
+    #[test]
+    fn non_square_invert_rejected() {
+        let m = Matrix::zero(2, 3);
+        assert_eq!(m.invert().unwrap_err(), MatrixError::NotSquare);
+    }
+
+    #[test]
+    fn mul_dimension_mismatch_rejected() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        assert!(matches!(
+            a.mul(&b),
+            Err(MatrixError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn systematic_top_block_is_identity() {
+        for (k, m) in [(2, 1), (3, 1), (3, 2), (4, 2), (5, 4), (7, 5)] {
+            let h = Matrix::systematic(k, m);
+            assert_eq!(h.rows(), k + m);
+            assert_eq!(h.cols(), k);
+            for i in 0..k {
+                for j in 0..k {
+                    let expect = if i == j { Gf256::ONE } else { Gf256::ZERO };
+                    assert_eq!(h[(i, j)], expect, "H[{i}][{j}] for RS({k},{m})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_matrices_are_mds() {
+        for (k, m) in [(2, 1), (3, 2), (4, 3), (5, 2), (6, 3)] {
+            let h = Matrix::systematic(k, m);
+            assert!(h.is_mds(), "RS({k},{m}) coding matrix must be MDS");
+        }
+    }
+
+    #[test]
+    fn select_rows_extracts_in_order() {
+        let m = Matrix::vandermonde(4, 2);
+        let s = m.select_rows(&[3, 1]);
+        assert_eq!(s.row(0), m.row(3));
+        assert_eq!(s.row(1), m.row(1));
+    }
+
+    #[test]
+    fn rank_of_vandermonde_is_full() {
+        let m = Matrix::vandermonde(6, 3);
+        assert_eq!(m.rank(), 3);
+    }
+
+    #[test]
+    fn xor_of_rows_is_linear() {
+        // Multiplying by a sum of basis vectors equals summing columns.
+        let h = Matrix::systematic(3, 2);
+        let mut v = Matrix::zero(3, 1);
+        v[(0, 0)] = Gf256(5);
+        v[(1, 0)] = Gf256(9);
+        v[(2, 0)] = Gf256(17);
+        let out = h.mul(&v).unwrap();
+        // Systematic: first 3 outputs echo the inputs.
+        assert_eq!(out[(0, 0)], Gf256(5));
+        assert_eq!(out[(1, 0)], Gf256(9));
+        assert_eq!(out[(2, 0)], Gf256(17));
+    }
+}

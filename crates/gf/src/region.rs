@@ -1,0 +1,193 @@
+//! Bulk ("region") operations over byte slices.
+//!
+//! These are the hot loops of erasure coding: every encode, decode and
+//! parity-delta update is a sequence of `dst ^= c * src` operations over
+//! whole blocks. The constant's 256-entry multiplication table is fetched
+//! once per call, so the per-byte work is a single lookup plus XOR, the
+//! same structure GF-Complete's "table" mode uses.
+
+use crate::tables::MUL;
+use crate::Gf256;
+
+/// XORs `src` into `dst`: `dst[i] ^= src[i]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "region length mismatch");
+    // Process in u64 words for throughput; tail bytes one by one.
+    let mut chunks_d = dst.chunks_exact_mut(8);
+    let mut chunks_s = src.chunks_exact(8);
+    for (d, s) in chunks_d.by_ref().zip(chunks_s.by_ref()) {
+        let dv = u64::from_ne_bytes(d.try_into().expect("chunk of 8"));
+        let sv = u64::from_ne_bytes(s.try_into().expect("chunk of 8"));
+        d.copy_from_slice(&(dv ^ sv).to_ne_bytes());
+    }
+    for (d, s) in chunks_d
+        .into_remainder()
+        .iter_mut()
+        .zip(chunks_s.remainder())
+    {
+        *d ^= s;
+    }
+}
+
+/// Multiplies a region by a constant in place: `data[i] = c * data[i]`.
+pub fn mul_in_place(data: &mut [u8], c: Gf256) {
+    match c {
+        Gf256::ZERO => data.fill(0),
+        Gf256::ONE => {}
+        _ => {
+            let table = &MUL[c.0 as usize];
+            for b in data.iter_mut() {
+                *b = table[*b as usize];
+            }
+        }
+    }
+}
+
+/// Multiply-accumulate: `dst[i] ^= c * src[i]`.
+///
+/// This single primitive implements both RS encoding (accumulate rows of
+/// the generator matrix) and the paper's parity-delta update rule
+/// (`parity ^= g_ij * (new ^ old)`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "region length mismatch");
+    match c {
+        Gf256::ZERO => {}
+        Gf256::ONE => xor_into(dst, src),
+        _ => {
+            let table = &MUL[c.0 as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= table[*s as usize];
+            }
+        }
+    }
+}
+
+/// Copies `c * src` into `dst`, overwriting it.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_into(dst: &mut [u8], src: &[u8], c: Gf256) {
+    assert_eq!(dst.len(), src.len(), "region length mismatch");
+    match c {
+        Gf256::ZERO => dst.fill(0),
+        Gf256::ONE => dst.copy_from_slice(src),
+        _ => {
+            let table = &MUL[c.0 as usize];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = table[*s as usize];
+            }
+        }
+    }
+}
+
+/// Computes the XOR difference `new ^ old` used by parity-delta updates.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn delta(old: &[u8], new: &[u8]) -> Vec<u8> {
+    assert_eq!(old.len(), new.len(), "region length mismatch");
+    old.iter().zip(new).map(|(a, b)| a ^ b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_into_basic_and_unaligned_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 64, 100] {
+            let mut dst: Vec<u8> = (0..len as u32).map(|i| (i * 7) as u8).collect();
+            let src: Vec<u8> = (0..len as u32).map(|i| (i * 13 + 1) as u8).collect();
+            let expect: Vec<u8> = dst.iter().zip(&src).map(|(a, b)| a ^ b).collect();
+            xor_into(&mut dst, &src);
+            assert_eq!(dst, expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn xor_into_self_inverse() {
+        let src: Vec<u8> = (0..=255).collect();
+        let mut dst = vec![0xA5u8; 256];
+        let orig = dst.clone();
+        xor_into(&mut dst, &src);
+        xor_into(&mut dst, &src);
+        assert_eq!(dst, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_into_length_mismatch_panics() {
+        xor_into(&mut [0u8; 3], &[0u8; 4]);
+    }
+
+    #[test]
+    fn mul_in_place_matches_scalar() {
+        let data: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x53, 0xFF] {
+            let mut region = data.clone();
+            mul_in_place(&mut region, Gf256(c));
+            for (i, &b) in region.iter().enumerate() {
+                assert_eq!(Gf256(b), Gf256(c) * Gf256(i as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 0x53, 0xFF] {
+            let mut dst = vec![0x5Au8; 256];
+            mul_acc(&mut dst, &src, Gf256(c));
+            for (i, &b) in dst.iter().enumerate() {
+                assert_eq!(Gf256(b), Gf256(0x5A) + Gf256(c) * Gf256(i as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_into_overwrites() {
+        let src = [1u8, 2, 3];
+        let mut dst = [9u8, 9, 9];
+        mul_into(&mut dst, &src, Gf256(2));
+        assert_eq!(dst, [2, 4, 6]);
+        mul_into(&mut dst, &src, Gf256::ZERO);
+        assert_eq!(dst, [0, 0, 0]);
+        mul_into(&mut dst, &src, Gf256::ONE);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn delta_xor_relation() {
+        let old = [1u8, 2, 3, 4];
+        let new = [5u8, 6, 7, 0];
+        let d = delta(&old, &new);
+        let mut recovered = old;
+        xor_into(&mut recovered, &d);
+        assert_eq!(recovered, new);
+    }
+
+    #[test]
+    fn region_ops_distribute_like_field_ops() {
+        // (a + b) * c == a*c + b*c applied region-wise.
+        let a: Vec<u8> = (0..128).map(|i| (i * 3) as u8).collect();
+        let b: Vec<u8> = (0..128).map(|i| (i * 5 + 1) as u8).collect();
+        let c = Gf256(0x1D);
+        let mut sum = a.clone();
+        xor_into(&mut sum, &b);
+        mul_in_place(&mut sum, c);
+        let mut parts = vec![0u8; 128];
+        mul_acc(&mut parts, &a, c);
+        mul_acc(&mut parts, &b, c);
+        assert_eq!(sum, parts);
+    }
+}

@@ -1,0 +1,129 @@
+//! Compile-time exp/log tables for GF(2^8).
+//!
+//! The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. the reduction
+//! polynomial `0x11D` that Jerasure, GF-Complete, and most storage systems
+//! use. `0x02` (the polynomial `x`) is a generator of the multiplicative
+//! group, so `EXP[i] = 2^i` and `LOG[EXP[i]] = i` for `i` in `0..255`.
+
+/// The reduction polynomial of the field (degree-8 term included).
+pub const POLY: u16 = 0x11D;
+
+/// `EXP[i] = 2^i` in GF(2^8), doubled in length so that
+/// `EXP[LOG[a] + LOG[b]]` never needs a modulo reduction.
+pub static EXP: [u8; 512] = build_exp();
+
+/// `LOG[a]` = discrete logarithm of `a` base 2; `LOG[0]` is a sentinel
+/// (never read by correct code — multiplication checks for zero first).
+pub static LOG: [u16; 256] = build_log();
+
+/// Per-constant multiplication tables: `MUL[c][x] = c * x` in GF(2^8).
+///
+/// 64 KiB total; this is the table layout GF-Complete calls "table"
+/// mode and what makes region multiply-accumulate a pure lookup loop.
+pub static MUL: [[u8; 256]; 256] = build_mul();
+
+const fn build_exp() -> [u8; 512] {
+    let mut table = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 512 {
+        table[i] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    table
+}
+
+const fn build_log() -> [u16; 256] {
+    let exp = build_exp();
+    let mut table = [0u16; 256];
+    // `LOG[0]` stays 0 as a sentinel; callers must special-case zero.
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u16;
+        i += 1;
+    }
+    table
+}
+
+const fn mul_slow(a: u8, b: u8) -> u8 {
+    // Carry-less multiply with reduction; used only at compile time.
+    let mut acc: u16 = 0;
+    let mut a16 = a as u16;
+    let mut b16 = b as u16;
+    while b16 != 0 {
+        if b16 & 1 != 0 {
+            acc ^= a16;
+        }
+        a16 <<= 1;
+        if a16 & 0x100 != 0 {
+            a16 ^= POLY;
+        }
+        b16 >>= 1;
+    }
+    acc as u8
+}
+
+const fn build_mul() -> [[u8; 256]; 256] {
+    let mut table = [[0u8; 256]; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut x = 0;
+        while x < 256 {
+            table[c][x] = mul_slow(c as u8, x as u8);
+            x += 1;
+        }
+        c += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_table_wraps_at_255() {
+        assert_eq!(EXP[0], 1);
+        assert_eq!(EXP[255], EXP[0]);
+        assert_eq!(EXP[256], EXP[1]);
+    }
+
+    #[test]
+    fn exp_values_are_distinct_over_one_period() {
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            assert!(!seen[EXP[i] as usize], "duplicate at {i}");
+            seen[EXP[i] as usize] = true;
+        }
+        assert!(!seen[0], "zero is not a power of the generator");
+    }
+
+    #[test]
+    fn log_inverts_exp() {
+        for i in 0..255u16 {
+            assert_eq!(LOG[EXP[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn mul_table_matches_slow_multiply() {
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 0x53, 0xCA, 0xFF] {
+                assert_eq!(MUL[a as usize][b as usize], mul_slow(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slow_known_values() {
+        // Test vectors for polynomial 0x11D.
+        assert_eq!(mul_slow(2, 0x8E), 0x01); // 0x8E is the inverse of 2.
+        assert_eq!(mul_slow(2, 0x80), 0x1D);
+        assert_eq!(mul_slow(0, 0xFF), 0);
+        assert_eq!(mul_slow(1, 0xAB), 0xAB);
+    }
+}

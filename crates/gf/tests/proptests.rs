@@ -1,0 +1,131 @@
+//! Property-based tests for GF(2^8) field axioms, region ops and matrices.
+
+use proptest::prelude::*;
+use ring_gf::{region, Gf256, Matrix};
+
+fn gf() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256)
+}
+
+fn nonzero_gf() -> impl Strategy<Value = Gf256> {
+    (1u8..=255).prop_map(Gf256)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in gf(), b in gf()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associates(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn multiplication_commutes(a in gf(), b in gf()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_associates(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributive_law(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse_is_self(a in gf()) {
+        prop_assert_eq!(a + a, Gf256::ZERO);
+        prop_assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in nonzero_gf()) {
+        prop_assert_eq!(a * a.inv(), Gf256::ONE);
+        prop_assert_eq!(a / a, Gf256::ONE);
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in nonzero_gf(), n in 0usize..50, m in 0usize..50) {
+        prop_assert_eq!(a.pow(n) * a.pow(m), a.pow(n + m));
+    }
+
+    #[test]
+    fn log_exp_round_trip(a in nonzero_gf()) {
+        let l = a.log().unwrap() as usize;
+        prop_assert_eq!(Gf256::exp(l), a);
+    }
+
+    #[test]
+    fn region_mul_acc_equals_scalar_loop(
+        src in proptest::collection::vec(any::<u8>(), 0..200),
+        seed in any::<u8>(),
+        c in any::<u8>(),
+    ) {
+        let mut dst = vec![seed; src.len()];
+        region::mul_acc(&mut dst, &src, Gf256(c));
+        for (i, &b) in dst.iter().enumerate() {
+            prop_assert_eq!(Gf256(b), Gf256(seed) + Gf256(c) * Gf256(src[i]));
+        }
+    }
+
+    #[test]
+    fn region_xor_then_xor_is_identity(
+        a in proptest::collection::vec(any::<u8>(), 0..200),
+        b_seed in any::<u8>(),
+    ) {
+        let b = vec![b_seed; a.len()];
+        let mut x = a.clone();
+        region::xor_into(&mut x, &b);
+        region::xor_into(&mut x, &b);
+        prop_assert_eq!(x, a);
+    }
+
+    #[test]
+    fn region_delta_applies(
+        old in proptest::collection::vec(any::<u8>(), 1..100),
+        new_seed in any::<u8>(),
+    ) {
+        let new: Vec<u8> = old.iter().map(|b| b ^ new_seed).collect();
+        let d = region::delta(&old, &new);
+        let mut patched = old.clone();
+        region::xor_into(&mut patched, &d);
+        prop_assert_eq!(patched, new);
+    }
+
+    #[test]
+    fn matrix_inverse_round_trip(n in 1usize..7, pick in any::<u64>()) {
+        // Build a random-ish invertible matrix by perturbing the identity
+        // with a Vandermonde product; skip singular draws.
+        let mut m = Matrix::vandermonde(n, n);
+        let bytes = pick.to_le_bytes();
+        for i in 0..n {
+            m[(i, i)] += Gf256(bytes[i % 8] | 1);
+        }
+        if let Ok(inv) = m.invert() {
+            prop_assert_eq!(m.mul(&inv).unwrap(), Matrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn systematic_any_k_rows_invertible(k in 1usize..6, m in 0usize..4, pick in any::<u64>()) {
+        // Randomly pick k rows out of k+m and verify invertibility
+        // (sampled MDS check; the exhaustive one runs in unit tests).
+        let h = Matrix::systematic(k, m);
+        let total = k + m;
+        let mut rows: Vec<usize> = (0..total).collect();
+        // Deterministic shuffle from the seed.
+        let mut state = pick | 1;
+        for i in (1..rows.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            rows.swap(i, j);
+        }
+        rows.truncate(k);
+        prop_assert!(h.select_rows(&rows).invert().is_ok());
+    }
+}

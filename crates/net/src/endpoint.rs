@@ -1,0 +1,355 @@
+//! A node's handle to the fabric.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::fabric::{FabricInner, NodeSlot};
+use crate::latency::spin_wait;
+use crate::{MemoryRegion, MrKey, NetError, NetStats, NodeId, WireSize};
+
+/// A registered node's endpoint: two-sided messaging, one-sided verbs,
+/// and memory-region registration.
+pub struct Endpoint<M> {
+    id: NodeId,
+    slot: Arc<NodeSlot<M>>,
+    fabric: Arc<FabricInner<M>>,
+}
+
+impl<M> std::fmt::Debug for Endpoint<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint").field("id", &self.id).finish()
+    }
+}
+
+impl<M: Send + WireSize> Endpoint<M> {
+    pub(crate) fn new(
+        id: NodeId,
+        slot: Arc<NodeSlot<M>>,
+        fabric: Arc<FabricInner<M>>,
+    ) -> Endpoint<M> {
+        Endpoint { id, slot, fabric }
+    }
+
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This endpoint's traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.slot.stats
+    }
+
+    /// Posts a message to `to`. Fire-and-forget: like a real network,
+    /// delivery to a dead node silently fails and the sender must use
+    /// timeouts. Sending over a cut link also drops the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Unreachable`] only if the target was *never*
+    /// registered (a configuration error rather than a runtime failure),
+    /// and [`NetError::Closed`] if this endpoint itself was killed.
+    pub fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
+        if self.slot.mailbox.is_closed() {
+            return Err(NetError::Closed);
+        }
+        let bytes = msg.wire_size();
+        self.slot.stats.record_send(bytes);
+        if !self.fabric.link_up(self.id, to) {
+            return Ok(()); // Dropped on the floor.
+        }
+        match self.fabric.slot(to) {
+            Some(slot) => {
+                let deliver_at = Instant::now() + self.fabric.latency.delay(bytes);
+                slot.mailbox.push(self.id, msg, deliver_at);
+                Ok(())
+            }
+            None => Ok(()), // Dead node: dropped.
+        }
+    }
+
+    /// Sends the same message to several nodes (the paper's client-side
+    /// multicast re-send path). The message must be `Clone`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] if this endpoint was killed.
+    pub fn multicast(&self, to: &[NodeId], msg: M) -> Result<(), NetError>
+    where
+        M: Clone,
+    {
+        for &t in to {
+            self.send(t, msg.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] if the endpoint is killed while
+    /// waiting.
+    pub fn recv(&self) -> Result<(NodeId, M), NetError> {
+        let r = self.slot.mailbox.recv(None);
+        if r.is_ok() {
+            self.slot.stats.record_recv();
+        }
+        r
+    }
+
+    /// Blocks until a message arrives or the timeout elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] on expiry, [`NetError::Closed`] if killed.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, M), NetError> {
+        let r = self.slot.mailbox.recv(Some(timeout));
+        if r.is_ok() {
+            self.slot.stats.record_recv();
+        }
+        r
+    }
+
+    /// Returns a due message if one is queued, without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] if the endpoint was killed.
+    pub fn try_recv(&self) -> Result<Option<(NodeId, M)>, NetError> {
+        let r = self.slot.mailbox.try_recv();
+        if let Ok(Some(_)) = r {
+            self.slot.stats.record_recv();
+        }
+        r
+    }
+
+    /// Number of queued (possibly not yet due) messages.
+    pub fn queued(&self) -> usize {
+        self.slot.mailbox.len()
+    }
+
+    /// Registers a memory region under `key`, making it remotely
+    /// accessible. Re-registering a key replaces the region.
+    pub fn register_region(&self, key: MrKey, region: MemoryRegion) {
+        self.slot.regions.write().insert(key, region);
+    }
+
+    /// Removes a region registration.
+    pub fn deregister_region(&self, key: MrKey) {
+        self.slot.regions.write().remove(&key);
+    }
+
+    /// Returns a handle to one of this node's own regions.
+    pub fn local_region(&self, key: MrKey) -> Option<MemoryRegion> {
+        self.slot.regions.read().get(&key).cloned()
+    }
+
+    fn remote_region(&self, node: NodeId, key: MrKey) -> Result<MemoryRegion, NetError> {
+        if !self.fabric.link_up(self.id, node) {
+            return Err(NetError::Unreachable(node));
+        }
+        let slot = self.fabric.slot(node).ok_or(NetError::Unreachable(node))?;
+        if slot.mailbox.is_closed() {
+            return Err(NetError::Unreachable(node));
+        }
+        let region = slot.regions.read().get(&key).cloned();
+        region.ok_or(NetError::UnknownRegion { node, key })
+    }
+
+    /// One-sided read of `[offset, offset + len)` from `node`'s region
+    /// `key`. The caller pays the round-trip latency; the remote CPU is
+    /// not involved.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unreachable`], [`NetError::UnknownRegion`] or
+    /// [`NetError::OutOfBounds`].
+    pub fn rdma_read(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, NetError> {
+        let region = self.remote_region(node, key)?;
+        spin_wait(self.fabric.latency.round_trip(len));
+        let out = region.read(offset, len)?;
+        self.slot.stats.record_rdma_read(len);
+        Ok(out)
+    }
+
+    /// One-sided read like [`Endpoint::rdma_read`], but reads past the
+    /// end of the region return zeros instead of failing — registered
+    /// regions grow lazily and unwritten bytes are zero by definition.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unreachable`] or [`NetError::UnknownRegion`].
+    pub fn rdma_read_padded(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, NetError> {
+        let region = self.remote_region(node, key)?;
+        spin_wait(self.fabric.latency.round_trip(len));
+        let available = region.len().saturating_sub(offset).min(len);
+        let mut out = vec![0u8; len];
+        if available > 0 {
+            let bytes = region.read(offset, available)?;
+            out[..available].copy_from_slice(&bytes);
+        }
+        self.slot.stats.record_rdma_read(len);
+        Ok(out)
+    }
+
+    /// One-sided write of `bytes` into `node`'s region `key` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unreachable`], [`NetError::UnknownRegion`] or
+    /// [`NetError::OutOfBounds`].
+    pub fn rdma_write(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<(), NetError> {
+        let region = self.remote_region(node, key)?;
+        spin_wait(self.fabric.latency.round_trip(bytes.len()));
+        region.write(offset, bytes)?;
+        self.slot.stats.record_rdma_write(bytes.len());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fabric, LatencyModel};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Msg(Vec<u8>);
+    impl WireSize for Msg {
+        fn wire_size(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn pair() -> (Fabric<Msg>, Endpoint<Msg>, Endpoint<Msg>) {
+        let f = Fabric::new(LatencyModel::instant());
+        let a = f.register(0).unwrap();
+        let b = f.register(1).unwrap();
+        (f, a, b)
+    }
+
+    #[test]
+    fn multicast_reaches_all() {
+        let f: Fabric<Msg> = Fabric::new(LatencyModel::instant());
+        let a = f.register(0).unwrap();
+        let b = f.register(1).unwrap();
+        let c = f.register(2).unwrap();
+        a.multicast(&[1, 2], Msg(vec![9])).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap().1,
+            Msg(vec![9])
+        );
+        assert_eq!(
+            c.recv_timeout(Duration::from_secs(1)).unwrap().1,
+            Msg(vec![9])
+        );
+    }
+
+    #[test]
+    fn rdma_read_write_round_trip() {
+        let (_f, a, b) = pair();
+        b.register_region(7, MemoryRegion::new(64));
+        a.rdma_write(1, 7, 8, &[1, 2, 3]).unwrap();
+        assert_eq!(a.rdma_read(1, 7, 8, 3).unwrap(), vec![1, 2, 3]);
+        // The owner sees the same bytes locally.
+        assert_eq!(
+            b.local_region(7).unwrap().read(8, 3).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn rdma_unknown_region_and_node() {
+        let (_f, a, b) = pair();
+        assert_eq!(
+            a.rdma_read(1, 99, 0, 1).unwrap_err(),
+            NetError::UnknownRegion { node: 1, key: 99 }
+        );
+        assert_eq!(
+            a.rdma_read(55, 0, 0, 1).unwrap_err(),
+            NetError::Unreachable(55)
+        );
+        drop(b);
+    }
+
+    #[test]
+    fn rdma_to_killed_node_unreachable() {
+        let (f, a, b) = pair();
+        b.register_region(1, MemoryRegion::new(8));
+        f.kill(1);
+        assert_eq!(
+            a.rdma_read(1, 1, 0, 1).unwrap_err(),
+            NetError::Unreachable(1)
+        );
+    }
+
+    #[test]
+    fn rdma_over_cut_link_unreachable() {
+        let (f, a, b) = pair();
+        b.register_region(1, MemoryRegion::new(8));
+        f.fail_link(0, 1);
+        assert_eq!(
+            a.rdma_write(1, 1, 0, &[1]).unwrap_err(),
+            NetError::Unreachable(1)
+        );
+    }
+
+    #[test]
+    fn send_after_kill_is_closed() {
+        let (f, a, _b) = pair();
+        f.kill(0);
+        assert_eq!(a.send(1, Msg(vec![])).unwrap_err(), NetError::Closed);
+    }
+
+    #[test]
+    fn latency_is_applied_to_delivery() {
+        let f: Fabric<Msg> = Fabric::new(LatencyModel {
+            base: Duration::from_millis(5),
+            per_byte_ns: 0,
+        });
+        let a = f.register(0).unwrap();
+        let b = f.register(1).unwrap();
+        let start = Instant::now();
+        a.send(1, Msg(vec![1])).unwrap();
+        // Sender is not blocked by the wire delay.
+        assert!(start.elapsed() < Duration::from_millis(4));
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let (_f, a, b) = pair();
+        b.register_region(1, MemoryRegion::new(16));
+        a.send(1, Msg(vec![0; 10])).unwrap();
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        a.rdma_read(1, 1, 0, 4).unwrap();
+        a.rdma_write(1, 1, 0, &[1, 2]).unwrap();
+        let sa = a.stats().snapshot();
+        assert_eq!(sa.msgs_sent, 1);
+        assert_eq!(sa.bytes_sent, 10);
+        assert_eq!(sa.rdma_reads, 1);
+        assert_eq!(sa.rdma_read_bytes, 4);
+        assert_eq!(sa.rdma_writes, 1);
+        assert_eq!(sa.rdma_write_bytes, 2);
+        assert_eq!(b.stats().snapshot().msgs_received, 1);
+    }
+}

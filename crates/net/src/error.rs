@@ -1,0 +1,58 @@
+//! Error type for fabric operations.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by fabric registration, messaging and one-sided verbs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The target node was never registered or has been killed.
+    Unreachable(NodeId),
+    /// A node id was registered twice.
+    AlreadyRegistered(NodeId),
+    /// A blocking receive timed out.
+    Timeout,
+    /// The local endpoint has been shut down.
+    Closed,
+    /// One-sided access referenced an unknown memory region key.
+    UnknownRegion {
+        /// The node the access targeted.
+        node: NodeId,
+        /// The unknown key.
+        key: u64,
+    },
+    /// One-sided access fell outside the registered region bounds.
+    OutOfBounds {
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Size of the region.
+        region: usize,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable(n) => write!(f, "node {n} is unreachable"),
+            NetError::AlreadyRegistered(n) => write!(f, "node {n} already registered"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Closed => write!(f, "endpoint closed"),
+            NetError::UnknownRegion { node, key } => {
+                write!(f, "unknown memory region {key} on node {node}")
+            }
+            NetError::OutOfBounds {
+                offset,
+                len,
+                region,
+            } => write!(
+                f,
+                "access [{offset}, {offset}+{len}) out of bounds for region of {region} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,232 @@
+//! A timestamp-ordered mailbox: packets become visible at `deliver_at`.
+//!
+//! A binary heap keyed on `(deliver_at, seq)` keeps deliveries in
+//! simulated-arrival order even when messages with different injected
+//! latencies interleave. Receivers block on a condvar and spin briefly
+//! near the head packet's due time for sub-sleep-granularity accuracy.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{NetError, NodeId};
+
+struct Packet<M> {
+    deliver_at: Instant,
+    seq: u64,
+    from: NodeId,
+    msg: M,
+}
+
+impl<M> PartialEq for Packet<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Packet<M> {}
+impl<M> PartialOrd for Packet<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Packet<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+pub(crate) struct Mailbox<M> {
+    heap: Mutex<BinaryHeap<Packet<M>>>,
+    cond: Condvar,
+    seq: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl<M> Mailbox<M> {
+    pub(crate) fn new() -> Arc<Mailbox<M>> {
+        Arc::new(Mailbox {
+            heap: Mutex::new(BinaryHeap::new()),
+            cond: Condvar::new(),
+            seq: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn push(&self, from: NodeId, msg: M, deliver_at: Instant) {
+        if self.closed.load(AtomicOrdering::Acquire) {
+            return; // Messages to a dead node vanish.
+        }
+        let seq = self.seq.fetch_add(1, AtomicOrdering::Relaxed);
+        let mut heap = self.heap.lock();
+        heap.push(Packet {
+            deliver_at,
+            seq,
+            from,
+            msg,
+        });
+        drop(heap);
+        self.cond.notify_one();
+    }
+
+    pub(crate) fn close(&self) {
+        self.closed.store(true, AtomicOrdering::Release);
+        self.heap.lock().clear();
+        self.cond.notify_all();
+    }
+
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(AtomicOrdering::Acquire)
+    }
+
+    /// Blocking receive with an optional deadline.
+    pub(crate) fn recv(&self, timeout: Option<Duration>) -> Result<(NodeId, M), NetError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut heap = self.heap.lock();
+        loop {
+            if self.closed.load(AtomicOrdering::Acquire) {
+                return Err(NetError::Closed);
+            }
+            let now = Instant::now();
+            if let Some(head) = heap.peek() {
+                if head.deliver_at <= now {
+                    let p = heap.pop().expect("peeked");
+                    return Ok((p.from, p.msg));
+                }
+                // Head not due yet; wait until it is (or new mail).
+                let due = head.deliver_at;
+                let wait_until = match deadline {
+                    Some(d) if d < due => d,
+                    _ => due,
+                };
+                if self.cond.wait_until(&mut heap, wait_until).timed_out()
+                    && Some(wait_until) == deadline
+                    && heap
+                        .peek()
+                        .map(|h| h.deliver_at > Instant::now())
+                        .unwrap_or(true)
+                {
+                    return Err(NetError::Timeout);
+                }
+            } else {
+                match deadline {
+                    Some(d) => {
+                        if self.cond.wait_until(&mut heap, d).timed_out() && heap.is_empty() {
+                            return Err(NetError::Timeout);
+                        }
+                    }
+                    None => {
+                        self.cond.wait(&mut heap);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive: returns a due packet if one exists.
+    pub(crate) fn try_recv(&self) -> Result<Option<(NodeId, M)>, NetError> {
+        if self.closed.load(AtomicOrdering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        let mut heap = self.heap.lock();
+        if let Some(head) = heap.peek() {
+            if head.deliver_at <= Instant::now() {
+                let p = heap.pop().expect("peeked");
+                return Ok(Some((p.from, p.msg)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Number of queued (not necessarily due) packets.
+    pub(crate) fn len(&self) -> usize {
+        self.heap.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_timestamp_order() {
+        let mb = Mailbox::new();
+        let now = Instant::now();
+        mb.push(1, "late", now + Duration::from_millis(5));
+        mb.push(2, "early", now);
+        let (from, msg) = mb.recv(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!((from, msg), (2, "early"));
+        let (from, msg) = mb.recv(Some(Duration::from_secs(1))).unwrap();
+        assert_eq!((from, msg), (1, "late"));
+    }
+
+    #[test]
+    fn ties_break_by_arrival_sequence() {
+        let mb = Mailbox::new();
+        let at = Instant::now();
+        mb.push(1, 10u32, at);
+        mb.push(1, 20u32, at);
+        mb.push(1, 30u32, at);
+        assert_eq!(mb.recv(None).unwrap().1, 10);
+        assert_eq!(mb.recv(None).unwrap().1, 20);
+        assert_eq!(mb.recv(None).unwrap().1, 30);
+    }
+
+    #[test]
+    fn timeout_on_empty() {
+        let mb: Arc<Mailbox<()>> = Mailbox::new();
+        let start = Instant::now();
+        let r = mb.recv(Some(Duration::from_millis(10)));
+        assert_eq!(r.unwrap_err(), NetError::Timeout);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn timeout_respects_undue_head() {
+        let mb = Mailbox::new();
+        mb.push(1, (), Instant::now() + Duration::from_secs(60));
+        let r = mb.recv(Some(Duration::from_millis(10)));
+        assert_eq!(r.unwrap_err(), NetError::Timeout);
+    }
+
+    #[test]
+    fn try_recv_sees_only_due_packets() {
+        let mb = Mailbox::new();
+        mb.push(1, "future", Instant::now() + Duration::from_secs(60));
+        assert_eq!(mb.try_recv().unwrap(), None);
+        mb.push(2, "now", Instant::now());
+        assert_eq!(mb.try_recv().unwrap(), Some((2, "now")));
+    }
+
+    #[test]
+    fn close_wakes_waiters_and_drops_mail() {
+        let mb = Mailbox::new();
+        mb.push(1, 1u8, Instant::now());
+        mb.close();
+        assert!(mb.is_closed());
+        assert_eq!(mb.recv(None).unwrap_err(), NetError::Closed);
+        // Pushes after close vanish.
+        mb.push(1, 2u8, Instant::now());
+        assert_eq!(mb.len(), 0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mb = Mailbox::new();
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            mb2.push(7, 99u64, Instant::now());
+        });
+        let (from, msg) = mb.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!((from, msg), (7, 99));
+        t.join().unwrap();
+    }
+}

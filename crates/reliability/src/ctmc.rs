@@ -1,0 +1,194 @@
+//! Continuous-time Markov chains: transient solutions and time averages.
+
+use crate::expm::Matrixf;
+
+/// A finite CTMC described by its generator matrix `Q` (`q_ij` is the
+/// rate from state `i` to `j`; rows sum to zero) and an initial
+/// distribution.
+///
+/// Solves the Kolmogorov forward problem of the paper's Eqn. (7):
+/// `P(t) = P(0) e^{Qt}` (row-vector convention).
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    q: Matrixf,
+    p0: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Creates a chain from a generator and an initial distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not square, dimensions mismatch, a row of `q`
+    /// does not sum to ~0, or `p0` does not sum to ~1.
+    pub fn new(q: Matrixf, p0: Vec<f64>) -> Ctmc {
+        assert_eq!(q.rows(), q.cols(), "generator must be square");
+        assert_eq!(q.rows(), p0.len(), "initial distribution size mismatch");
+        for i in 0..q.rows() {
+            let row_sum: f64 = (0..q.cols()).map(|j| q[(i, j)]).sum();
+            assert!(
+                row_sum.abs() < 1e-6 * (1.0 + q.norm_inf()),
+                "generator row {i} sums to {row_sum}, not 0"
+            );
+        }
+        let total: f64 = p0.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "initial distribution sums to {total}"
+        );
+        Ctmc { q, p0 }
+    }
+
+    /// A chain that starts deterministically in state 0.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Ctmc::new`].
+    pub fn from_state0(q: Matrixf) -> Ctmc {
+        let n = q.rows();
+        let mut p0 = vec![0.0; n];
+        p0[0] = 1.0;
+        Ctmc::new(q, p0)
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.p0.len()
+    }
+
+    /// The generator matrix.
+    pub fn generator(&self) -> &Matrixf {
+        &self.q
+    }
+
+    /// State probabilities at time `t`: `P(t) = P(0) e^{Qt}`.
+    pub fn transient(&self, t: f64) -> Vec<f64> {
+        let e = self.q.scale(t).expm();
+        self.apply(&e)
+    }
+
+    /// Time-averaged state probabilities over `[0, tau]`:
+    /// `(1/tau) ∫ P(t) dt`, computed with Van Loan's block-matrix trick:
+    /// `expm([[Q, I], [0, 0]] * tau)` has `∫ e^{Qt} dt` in its upper-right
+    /// block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau <= 0`.
+    pub fn time_average(&self, tau: f64) -> Vec<f64> {
+        assert!(tau > 0.0, "tau must be positive");
+        let n = self.states();
+        let mut block = Matrixf::zero(2 * n, 2 * n);
+        for i in 0..n {
+            for j in 0..n {
+                block[(i, j)] = self.q[(i, j)] * tau;
+            }
+            block[(i, n + i)] = tau;
+        }
+        let e = block.expm();
+        // Extract the upper-right block = ∫_0^tau e^{Qt} dt.
+        let mut integral = Matrixf::zero(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                integral[(i, j)] = e[(i, n + j)] / tau;
+            }
+        }
+        self.apply(&integral)
+    }
+
+    fn apply(&self, m: &Matrixf) -> Vec<f64> {
+        let n = self.states();
+        let mut out = vec![0.0; n];
+        for (i, &p) in self.p0.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += p * m[(i, j)];
+            }
+        }
+        // Clamp tiny numerical noise.
+        for o in out.iter_mut() {
+            *o = o.clamp(0.0, 1.0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        // 0 <-> 1 birth-death.
+        let mut q = Matrixf::zero(2, 2);
+        q[(0, 0)] = -lambda;
+        q[(0, 1)] = lambda;
+        q[(1, 0)] = mu;
+        q[(1, 1)] = -mu;
+        Ctmc::from_state0(q)
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let c = two_state(2.0, 5.0);
+        for t in [0.0, 0.1, 1.0, 10.0, 1000.0] {
+            let p = c.transient(t);
+            let total: f64 = p.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "t = {t}: sum = {total}");
+        }
+    }
+
+    #[test]
+    fn two_state_analytic_solution() {
+        // P0(t) = mu/(l+mu) + l/(l+mu) e^{-(l+mu)t}.
+        let (l, mu) = (2.0, 5.0);
+        let c = two_state(l, mu);
+        for t in [0.0, 0.3, 1.0, 4.0] {
+            let p = c.transient(t);
+            let expect = mu / (l + mu) + l / (l + mu) * (-(l + mu) * t).exp();
+            assert!((p[0] - expect).abs() < 1e-10, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn absorbing_state_drains_probability() {
+        // 0 -> 1 absorbing with rate 3: P1(t) = 1 - e^{-3t}.
+        let mut q = Matrixf::zero(2, 2);
+        q[(0, 0)] = -3.0;
+        q[(0, 1)] = 3.0;
+        let c = Ctmc::from_state0(q);
+        let p = c.transient(1.0);
+        assert!((p[1] - (1.0 - (-3.0f64).exp())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn time_average_of_absorbing_chain() {
+        // A(t) = P0(t) = e^{-lt}; avg over tau = (1 - e^{-l tau})/(l tau).
+        let l = 2.0;
+        let mut q = Matrixf::zero(2, 2);
+        q[(0, 0)] = -l;
+        q[(0, 1)] = l;
+        let c = Ctmc::from_state0(q);
+        let tau = 1.5;
+        let avg = c.time_average(tau);
+        let expect = (1.0 - (-l * tau).exp()) / (l * tau);
+        assert!((avg[0] - expect).abs() < 1e-9, "avg = {}", avg[0]);
+    }
+
+    #[test]
+    fn stationary_limit_reached() {
+        let (l, mu) = (1.0, 100.0);
+        let c = two_state(l, mu);
+        let p = c.transient(1e4);
+        assert!((p[0] - mu / (l + mu)).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0 sums")]
+    fn bad_generator_rejected() {
+        let mut q = Matrixf::zero(2, 2);
+        q[(0, 0)] = 1.0; // Rows must sum to zero.
+        let _ = Ctmc::from_state0(q);
+    }
+}

@@ -1,0 +1,322 @@
+//! Small dense real matrices and the matrix exponential.
+//!
+//! The chains in this crate have at most a dozen states, so a plain
+//! row-major `Vec<f64>` with O(n^3) routines is appropriate. The matrix
+//! exponential uses scaling-and-squaring with a Padé(6,6) approximant —
+//! accurate to near machine precision after the norm is scaled below 1/2
+//! (Higham's method with a fixed, conservative approximant order).
+
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrixf {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrixf {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Matrixf {
+        assert!(rows > 0 && cols > 0, "dimensions must be non-zero");
+        Matrixf {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix.
+    pub fn identity(n: usize) -> Matrixf {
+        let mut m = Matrixf::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, rhs: &Matrixf) -> Matrixf {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrixf::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self[(i, l)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(l, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add(&self, rhs: &Matrixf) -> Matrixf {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+        out
+    }
+
+    /// `self * c` (scalar).
+    pub fn scale(&self, c: f64) -> Matrixf {
+        let mut out = self.clone();
+        for a in out.data.iter_mut() {
+            *a *= c;
+        }
+        out
+    }
+
+    /// Maximum absolute row sum (the infinity norm).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Solves `self * X = B` by LU with partial pivoting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is singular or dimensions mismatch.
+    pub fn solve(&self, b: &Matrixf) -> Matrixf {
+        assert_eq!(self.rows, self.cols, "must be square");
+        assert_eq!(self.rows, b.rows, "rhs rows mismatch");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.clone();
+        for col in 0..n {
+            // Pivot.
+            let mut pivot = col;
+            for r in col + 1..n {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            assert!(a[(pivot, col)].abs() > 1e-300, "singular matrix in solve");
+            if pivot != col {
+                for j in 0..n {
+                    a.data.swap(col * n + j, pivot * n + j);
+                }
+                for j in 0..x.cols {
+                    x.data.swap(col * x.cols + j, pivot * x.cols + j);
+                }
+            }
+            let d = a[(col, col)];
+            for r in col + 1..n {
+                let f = a[(r, col)] / d;
+                if f == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[(r, j)] -= f * a[(col, j)];
+                }
+                for j in 0..x.cols {
+                    x[(r, j)] -= f * x[(col, j)];
+                }
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let d = a[(col, col)];
+            for j in 0..x.cols {
+                x[(col, j)] /= d;
+            }
+            for r in 0..col {
+                let f = a[(r, col)];
+                if f == 0.0 {
+                    continue;
+                }
+                for j in 0..x.cols {
+                    x[(r, j)] -= f * x[(col, j)];
+                }
+            }
+        }
+        x
+    }
+
+    /// The matrix exponential `e^self` via scaling-and-squaring with a
+    /// Padé(6,6) approximant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn expm(&self) -> Matrixf {
+        assert_eq!(self.rows, self.cols, "expm requires a square matrix");
+        let n = self.rows;
+        let norm = self.norm_inf();
+        // Scale so the norm is below 0.5.
+        let mut squarings = 0u32;
+        let mut scaled = self.clone();
+        if norm > 0.5 {
+            squarings = (norm / 0.5).log2().ceil() as u32;
+            scaled = self.scale(1.0 / f64::powi(2.0, squarings as i32));
+        }
+
+        // Padé(6,6): N = sum c_j A^j, D = sum (-1)^j c_j A^j.
+        const C: [f64; 7] = [
+            1.0,
+            0.5,
+            // c_j = c_{j-1} * (q - j + 1) / (j * (2q - j + 1)), q = 6.
+            5.0 / 44.0,
+            1.0 / 66.0,
+            1.0 / 792.0,
+            1.0 / 15840.0,
+            1.0 / 665280.0,
+        ];
+        let mut num = Matrixf::identity(n).scale(C[0]);
+        let mut den = Matrixf::identity(n).scale(C[0]);
+        let mut power = Matrixf::identity(n);
+        for (j, &c) in C.iter().enumerate().skip(1) {
+            power = power.mul(&scaled);
+            num = num.add(&power.scale(c));
+            let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+            den = den.add(&power.scale(sign * c));
+        }
+        let mut result = den.solve(&num);
+        for _ in 0..squarings {
+            result = result.mul(&result);
+        }
+        result
+    }
+}
+
+impl Index<(usize, usize)> for Matrixf {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrixf {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = Matrixf::zero(3, 3);
+        let e = z.expm();
+        assert_eq!(e, Matrixf::identity(3));
+    }
+
+    #[test]
+    fn expm_of_diagonal() {
+        let mut d = Matrixf::zero(2, 2);
+        d[(0, 0)] = 1.0;
+        d[(1, 1)] = -2.0;
+        let e = d.expm();
+        assert_close(e[(0, 0)], 1.0f64.exp(), 1e-12);
+        assert_close(e[(1, 1)], (-2.0f64).exp(), 1e-12);
+        assert_close(e[(0, 1)], 0.0, 1e-14);
+    }
+
+    #[test]
+    fn expm_nilpotent() {
+        // A = [[0, 1], [0, 0]]: e^A = I + A exactly.
+        let mut a = Matrixf::zero(2, 2);
+        a[(0, 1)] = 1.0;
+        let e = a.expm();
+        assert_close(e[(0, 0)], 1.0, 1e-14);
+        assert_close(e[(0, 1)], 1.0, 1e-14);
+        assert_close(e[(1, 1)], 1.0, 1e-14);
+    }
+
+    #[test]
+    fn expm_large_norm_via_squaring() {
+        // e^(aI) = e^a I even for large a.
+        let a = Matrixf::identity(2).scale(30.0);
+        let e = a.expm();
+        assert_close(e[(0, 0)] / 30.0f64.exp(), 1.0, 1e-9);
+        assert_close(e[(0, 1)], 0.0, 1e-3); // Off-diagonal stays ~0.
+    }
+
+    #[test]
+    fn expm_rotation_block() {
+        // A = [[0, -t], [t, 0]]: e^A = rotation by t.
+        let t = 1.3f64;
+        let mut a = Matrixf::zero(2, 2);
+        a[(0, 1)] = -t;
+        a[(1, 0)] = t;
+        let e = a.expm();
+        assert_close(e[(0, 0)], t.cos(), 1e-12);
+        assert_close(e[(0, 1)], -t.sin(), 1e-12);
+        assert_close(e[(1, 0)], t.sin(), 1e-12);
+    }
+
+    #[test]
+    fn solve_round_trip() {
+        let mut a = Matrixf::zero(3, 3);
+        let vals = [4.0, 1.0, 2.0, 1.0, 5.0, 1.0, 2.0, 1.0, 6.0];
+        for (i, &v) in vals.iter().enumerate() {
+            a.data[i] = v;
+        }
+        let mut b = Matrixf::zero(3, 1);
+        b[(0, 0)] = 1.0;
+        b[(1, 0)] = 2.0;
+        b[(2, 0)] = 3.0;
+        let x = a.solve(&b);
+        let back = a.mul(&x);
+        for i in 0..3 {
+            assert_close(back[(i, 0)], b[(i, 0)], 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn solve_singular_panics() {
+        let a = Matrixf::zero(2, 2);
+        let b = Matrixf::identity(2);
+        let _ = a.solve(&b);
+    }
+
+    #[test]
+    fn norm_inf_is_max_row_sum() {
+        let mut a = Matrixf::zero(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(0, 1)] = -3.0;
+        a[(1, 0)] = 2.0;
+        assert_eq!(a.norm_inf(), 4.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! CTMC reliability and availability models for RS and SRS codes.
+//!
+//! This crate reproduces Appendix A of the Ring paper (Taranov et al.,
+//! EuroSys'18): continuous-time Markov chain models that estimate the
+//! annual reliability (probability of not losing data within a year) and
+//! interval availability of `RS(k, m)` and `SRS(k, m, s)` storage
+//! schemes, expressed in "nines".
+//!
+//! - [`Ctmc`]: a small dense CTMC with transient solutions `P(t) = P(0)
+//!   e^{Qt}` (scaling-and-squaring matrix exponential) and Van Loan
+//!   integrals for interval availability.
+//! - [`rs_chain`]: the birth-death chain of the paper's Figure 14.
+//! - [`srs_chain`]: the generalised chain of Figure 15, with the
+//!   failure-tolerance probabilities `f_i` obtained by total enumeration
+//!   of failure patterns (via [`ring_erasure::SrsCode::survivable_fraction`]),
+//!   hypergeometric data/parity failure mixes `p_ij`, and mixed recovery
+//!   rates `µ_ij`.
+//!
+//! # A note on the paper's `µ_D`
+//!
+//! Appendix A.2 states that a data node stores `s/k` times *less* data
+//! than a parity node but then writes `µ_D = (k/s) µ`. Less data must
+//! recover *faster*, i.e. `µ_D = (s/k) µ` — and only that reading
+//! reproduces the paper's own observation that stretching can *increase*
+//! reliability (Section 3.3: "faster recovery increases reliability").
+//! We therefore implement `µ_D = (s/k) µ` and record the discrepancy in
+//! EXPERIMENTS.md.
+//!
+//! # Examples
+//!
+//! ```
+//! use ring_reliability::{srs_chain, ModelParams, nines};
+//!
+//! let params = ModelParams::default();
+//! let rs = srs_chain(3, 1, 3, &params).annual_reliability();
+//! let srs = srs_chain(3, 1, 6, &params).annual_reliability();
+//! // Stretching RS(3,1) over 6 nodes keeps reliability in the same band.
+//! assert!((nines(rs) - nines(srs)).abs() < 1.0);
+//! ```
+
+mod ctmc;
+mod expm;
+mod model;
+
+pub use ctmc::Ctmc;
+pub use expm::Matrixf;
+pub use model::{rs_chain, srs_chain, ModelParams, SchemeChain};
+
+/// Converts a probability `p` into "number of nines": `-log10(1 - p)`.
+///
+/// Returns `f64::INFINITY` for `p >= 1` and `0.0` for `p <= 0`.
+pub fn nines(p: f64) -> f64 {
+    if p >= 1.0 {
+        f64::INFINITY
+    } else if p <= 0.0 {
+        0.0
+    } else {
+        -(1.0 - p).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nines_known_values() {
+        assert!((nines(0.9) - 1.0).abs() < 1e-12);
+        assert!((nines(0.99) - 2.0).abs() < 1e-12);
+        assert!((nines(0.9999) - 4.0).abs() < 1e-9);
+        assert_eq!(nines(1.0), f64::INFINITY);
+        assert_eq!(nines(0.0), 0.0);
+        assert_eq!(nines(-0.5), 0.0);
+    }
+}

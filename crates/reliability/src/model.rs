@@ -1,0 +1,384 @@
+//! The RS and SRS reliability chains of Appendix A.
+
+use ring_erasure::SrsCode;
+
+use crate::ctmc::Ctmc;
+use crate::expm::Matrixf;
+
+/// Physical parameters of the reliability model.
+///
+/// Rates are expressed per year. The rebuild rate follows Eqn. (6):
+/// `µ = 1 / (C/B_N + T_comp(C))` where `C` is the dataset size, `B_N`
+/// the recovery network bandwidth and `T_comp` the decode time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    /// Failure rate of a single node, per year (1.0 ≈ one failure per
+    /// node-year, a deliberately pessimistic commodity-server figure).
+    pub lambda_per_year: f64,
+    /// Full size of the dataset in GiB (`C` in Eqn. (6)).
+    pub dataset_gib: f64,
+    /// Recovery network bandwidth in GiB/s (`B_N`).
+    pub net_bandwidth_gib_s: f64,
+    /// Erasure decode throughput in GiB/s (defines `T_comp`).
+    pub compute_gib_s: f64,
+}
+
+/// Seconds per year (Julian year).
+const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+impl Default for ModelParams {
+    fn default() -> ModelParams {
+        ModelParams {
+            lambda_per_year: 1.0,
+            dataset_gib: 600.0,
+            net_bandwidth_gib_s: 0.125, // ~1 Gb/s effective recovery rate.
+            compute_gib_s: 1.0,
+        }
+    }
+}
+
+impl ModelParams {
+    /// The rebuild rate `µ` per year, from Eqn. (6).
+    pub fn mu_per_year(&self) -> f64 {
+        let t_net = self.dataset_gib / self.net_bandwidth_gib_s;
+        let t_comp = self.dataset_gib / self.compute_gib_s;
+        SECONDS_PER_YEAR / (t_net + t_comp)
+    }
+}
+
+/// A storage scheme's reliability chain: the CTMC plus labels.
+///
+/// State `i < fail_state` means "`i` nodes down, data intact";
+/// `fail_state` is the absorbing data-loss state FS.
+#[derive(Debug, Clone)]
+pub struct SchemeChain {
+    /// Human-readable scheme label (e.g. `SRS(3,2,6)`).
+    pub label: String,
+    chain: Ctmc,
+    fail_state: usize,
+}
+
+impl SchemeChain {
+    /// The underlying CTMC.
+    pub fn ctmc(&self) -> &Ctmc {
+        &self.chain
+    }
+
+    /// Index of the absorbing fail state.
+    pub fn fail_state(&self) -> usize {
+        self.fail_state
+    }
+
+    /// Probability that no data is lost within `t` years.
+    pub fn reliability(&self, t_years: f64) -> f64 {
+        1.0 - self.chain.transient(t_years)[self.fail_state]
+    }
+
+    /// Annual reliability, `R(1 year)`.
+    pub fn annual_reliability(&self) -> f64 {
+        self.reliability(1.0)
+    }
+
+    /// Point availability at time `t`: probability of being in state 0
+    /// (all nodes healthy — the only state with no data under recovery).
+    pub fn availability(&self, t_years: f64) -> f64 {
+        self.chain.transient(t_years)[0]
+    }
+
+    /// Interval availability over `[0, tau]` years (Appendix A.3).
+    pub fn interval_availability(&self, tau_years: f64) -> f64 {
+        self.chain.time_average(tau_years)[0]
+    }
+
+    /// Annual interval availability, `A_av(1 year)`.
+    pub fn annual_availability(&self) -> f64 {
+        self.interval_availability(1.0)
+    }
+}
+
+/// Builds the `RS(k, m)` chain of Figure 14: states `0..=m` plus FS,
+/// failure rate `(k + m - i)λ` from state `i`, constant repair rate `µ`.
+///
+/// Replication `Rep(r)` is the special case `rs_chain(1, r - 1, ..)`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn rs_chain(k: usize, m: usize, params: &ModelParams) -> SchemeChain {
+    assert!(k > 0, "k must be positive");
+    let lambda = params.lambda_per_year;
+    let mu = params.mu_per_year();
+    let n = m + 2; // States 0..=m and FS.
+    let fs = m + 1;
+    let mut q = Matrixf::zero(n, n);
+    for i in 0..=m {
+        let rate = (k + m - i) as f64 * lambda;
+        let next = if i == m { fs } else { i + 1 };
+        q[(i, next)] += rate;
+        q[(i, i)] -= rate;
+        if i > 0 {
+            q[(i, i - 1)] += mu;
+            q[(i, i)] -= mu;
+        }
+    }
+    SchemeChain {
+        label: format!("RS({k},{m})"),
+        chain: Ctmc::from_state0(q),
+        fail_state: fs,
+    }
+}
+
+/// Binomial coefficient as `f64`.
+fn binom(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut out = 1.0;
+    for i in 0..k {
+        out = out * (n - i) as f64 / (i + 1) as f64;
+    }
+    out
+}
+
+/// Builds the `SRS(k, m, s)` chain of Figure 15.
+///
+/// - `f_i`: probability that the code survives `i` simultaneous node
+///   failures, by total enumeration of failure patterns.
+/// - From state `i`, the failure rate `(s + m - i)λ` branches to state
+///   `i + 1` with probability `p_i = f_{i+1} / f_i` and to FS otherwise.
+/// - The repair rate `µ_i` mixes data-node and parity-node rebuild rates
+///   with the hypergeometric probability `p_ij` of `j` of the `i` failed
+///   nodes being data nodes; data nodes hold `k/s` of a parity node's
+///   data and therefore rebuild at `(s/k)µ` (see the crate-level note on
+///   the paper's `µ_D` sign).
+///
+/// # Panics
+///
+/// Panics if the SRS parameters are invalid (`s < k`, `k == 0`, ...).
+pub fn srs_chain(k: usize, m: usize, s: usize, params: &ModelParams) -> SchemeChain {
+    let code = SrsCode::new(k, m, s).unwrap_or_else(|e| panic!("invalid SRS params: {e}"));
+    let lambda = params.lambda_per_year;
+    let mu = params.mu_per_year();
+
+    // f_i for i = 0..=s+m; u = first i with f_i == 0.
+    let mut f = Vec::with_capacity(s + m + 1);
+    for i in 0..=(s + m) {
+        f.push(code.survivable_fraction(i));
+        if *f.last().expect("just pushed") == 0.0 {
+            break;
+        }
+    }
+    let u = f.len() - 1; // f[u] == 0 (total failure count s+m always dies).
+
+    // States 0..u-1 are functional, state u... careful: functional
+    // states are 0..=u-1; FS is the last index.
+    let n = u + 1;
+    let fs = u;
+    let mut q = Matrixf::zero(n, n);
+    for i in 0..u {
+        let rate = (s + m - i) as f64 * lambda;
+        let p_survive = if i + 1 < f.len() && f[i] > 0.0 {
+            f[i + 1] / f[i]
+        } else {
+            0.0
+        };
+        if i + 1 < u && p_survive > 0.0 {
+            q[(i, i + 1)] += rate * p_survive;
+            q[(i, fs)] += rate * (1.0 - p_survive);
+        } else {
+            q[(i, fs)] += rate;
+        }
+        q[(i, i)] -= rate;
+
+        if i > 0 {
+            // µ_i = Σ_j µ_ij p_ij.
+            let mut denom = 0.0;
+            for j in 0..=i {
+                if i - j <= m && j <= s {
+                    denom += binom(s, j) * binom(m, i - j);
+                }
+            }
+            let mut mu_i = 0.0;
+            for j in 0..=i {
+                if i - j <= m && j <= s {
+                    let p_ij = binom(s, j) * binom(m, i - j) / denom;
+                    let mu_ij = (j as f64 / i as f64) * (s as f64 / k as f64) * mu
+                        + ((i - j) as f64 / i as f64) * mu;
+                    mu_i += mu_ij * p_ij;
+                }
+            }
+            q[(i, i - 1)] += mu_i;
+            q[(i, i)] -= mu_i;
+        }
+    }
+    SchemeChain {
+        label: format!("SRS({k},{m},{s})"),
+        chain: Ctmc::from_state0(q),
+        fail_state: fs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nines;
+
+    fn p() -> ModelParams {
+        ModelParams::default()
+    }
+
+    #[test]
+    fn mu_matches_eqn6() {
+        let params = ModelParams {
+            lambda_per_year: 1.0,
+            dataset_gib: 600.0,
+            net_bandwidth_gib_s: 0.125,
+            compute_gib_s: 1.0,
+        };
+        // T = 600/0.125 + 600/1 = 5400 s.
+        let expect = SECONDS_PER_YEAR / 5400.0;
+        assert!((params.mu_per_year() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rs32_transition_matrix_structure() {
+        // The worked example in Appendix A.1 for RS(3,2).
+        let params = p();
+        let c = rs_chain(3, 2, &params);
+        let q = c.ctmc().generator();
+        let l = params.lambda_per_year;
+        let mu = params.mu_per_year();
+        assert_eq!(c.ctmc().states(), 4);
+        assert!((q[(0, 1)] - 5.0 * l).abs() < 1e-12);
+        assert!((q[(0, 0)] + 5.0 * l).abs() < 1e-12);
+        assert!((q[(1, 0)] - mu).abs() < 1e-9);
+        assert!((q[(1, 2)] - 4.0 * l).abs() < 1e-12);
+        assert!((q[(2, 3)] - 3.0 * l).abs() < 1e-12);
+        // FS absorbing.
+        for j in 0..4 {
+            assert_eq!(q[(3, j)], 0.0);
+        }
+    }
+
+    #[test]
+    fn srs214_matches_papers_example_matrix() {
+        // Appendix A.2: SRS(2,1,4) has 4 states; from state 1 the next
+        // failure is survived with probability 2/5. We follow the
+        // paper's *formula* λ_i = (s + m - i)λ with s + m = 5 nodes; the
+        // example matrix printed in the paper shows 6λ/5λ/4λ, an
+        // off-by-one against its own formula (recorded in
+        // EXPERIMENTS.md).
+        let params = p();
+        let c = srs_chain(2, 1, 4, &params);
+        assert_eq!(c.ctmc().states(), 4);
+        let q = c.ctmc().generator();
+        let l = params.lambda_per_year;
+        assert!((q[(0, 1)] - 5.0 * l).abs() < 1e-12);
+        assert!((q[(1, 2)] - 4.0 * l * (2.0 / 5.0)).abs() < 1e-9);
+        assert!((q[(1, 3)] - 4.0 * l * (3.0 / 5.0)).abs() < 1e-9);
+        assert!((q[(2, 3)] - 3.0 * l).abs() < 1e-12);
+    }
+
+    #[test]
+    fn srs_kmk_equals_rs() {
+        let params = p();
+        let a = rs_chain(3, 2, &params).annual_reliability();
+        let b = srs_chain(3, 2, 3, &params).annual_reliability();
+        assert!((a - b).abs() < 1e-12, "rs {a} vs srs {b}");
+    }
+
+    #[test]
+    fn more_parity_is_more_reliable() {
+        let params = p();
+        let r1 = rs_chain(3, 1, &params).annual_reliability();
+        let r2 = rs_chain(3, 2, &params).annual_reliability();
+        let r3 = rs_chain(3, 3, &params).annual_reliability();
+        assert!(r1 < r2 && r2 < r3, "{r1} {r2} {r3}");
+    }
+
+    #[test]
+    fn reliability_band_matches_figure2() {
+        // Figure 2: RS(2,1) sits between 2 and 4 nines; RS(7,5) above 10.
+        let params = p();
+        let low = nines(rs_chain(2, 1, &params).annual_reliability());
+        let high = nines(rs_chain(7, 5, &params).annual_reliability());
+        assert!((2.0..4.5).contains(&low), "RS(2,1) nines = {low}");
+        assert!(high > 9.0, "RS(7,5) nines = {high}");
+    }
+
+    #[test]
+    fn stretching_stays_in_reliability_band() {
+        // Figure 2: SRS(3,1,s) for s in 3..=7 stays within ~1 nine.
+        let params = p();
+        let base = nines(srs_chain(3, 1, 3, &params).annual_reliability());
+        for s in 4..=7 {
+            let stretched = nines(srs_chain(3, 1, s, &params).annual_reliability());
+            assert!(
+                (stretched - base).abs() < 1.0,
+                "s = {s}: {stretched} vs base {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn srs326_more_reliable_than_rs32() {
+        // The paper's explicit example: SRS(3,2,6) beats RS(3,2) thanks
+        // to faster per-node recovery and extra tolerable patterns.
+        let params = p();
+        let rs = srs_chain(3, 2, 3, &params).annual_reliability();
+        let srs = srs_chain(3, 2, 6, &params).annual_reliability();
+        assert!(srs > rs, "SRS(3,2,6) {srs} <= RS(3,2) {rs}");
+    }
+
+    #[test]
+    fn availability_at_most_reliability_pointwise() {
+        // At any instant, state 0 is a subset of the functional states,
+        // so A(t) <= R(t).
+        let params = p();
+        for (k, m, s) in [(2, 1, 3), (3, 2, 6), (4, 1, 4)] {
+            let c = srs_chain(k, m, s, &params);
+            for t in [0.1, 0.5, 1.0, 3.0] {
+                assert!(
+                    c.availability(t) <= c.reliability(t) + 1e-12,
+                    "SRS({k},{m},{s}) at t = {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn availability_band_matches_figure16() {
+        // Figure 16: availabilities sit around 2.8..3.4 nines, maximal
+        // for the SRS(2,1,s) family.
+        let params = p();
+        let a = nines(srs_chain(2, 1, 3, &params).annual_availability());
+        assert!(
+            (2.0..4.5).contains(&a),
+            "SRS(2,1,3) availability nines = {a}"
+        );
+        let worse = nines(srs_chain(5, 4, 5, &params).annual_availability());
+        assert!(
+            worse < a,
+            "bigger stripes are less available: {worse} vs {a}"
+        );
+    }
+
+    #[test]
+    fn binom_values() {
+        assert_eq!(binom(5, 0), 1.0);
+        assert_eq!(binom(5, 2), 10.0);
+        assert_eq!(binom(5, 5), 1.0);
+        assert_eq!(binom(3, 4), 0.0);
+    }
+
+    #[test]
+    fn reliability_decreases_with_time() {
+        let params = p();
+        let c = rs_chain(3, 2, &params);
+        let r1 = c.reliability(0.5);
+        let r2 = c.reliability(1.0);
+        let r3 = c.reliability(2.0);
+        assert!(r1 > r2 && r2 > r3);
+    }
+}

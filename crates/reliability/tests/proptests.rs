@@ -1,0 +1,71 @@
+//! Property-based tests for the CTMC reliability models.
+
+use proptest::prelude::*;
+use ring_reliability::{nines, rs_chain, srs_chain, ModelParams};
+
+fn small_params() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=5, 1usize..=3, 0usize..=3).prop_map(|(k, m, extra)| (k, m, k + extra))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn reliability_is_a_probability((k, m, s) in small_params(), t in 0.01f64..5.0) {
+        let chain = srs_chain(k, m, s, &ModelParams::default());
+        let r = chain.reliability(t);
+        prop_assert!((0.0..=1.0).contains(&r), "R({t}) = {r}");
+        let a = chain.availability(t);
+        prop_assert!((0.0..=1.0).contains(&a), "A({t}) = {a}");
+        prop_assert!(a <= r + 1e-9, "availability exceeds reliability");
+    }
+
+    #[test]
+    fn reliability_decreases_in_time((k, m, s) in small_params()) {
+        let chain = srs_chain(k, m, s, &ModelParams::default());
+        let mut prev = 1.0f64;
+        for t in [0.1f64, 0.5, 1.0, 2.0, 4.0] {
+            let r = chain.reliability(t);
+            prop_assert!(r <= prev + 1e-9, "R({t}) = {r} > {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn srs_without_stretch_equals_rs(k in 1usize..=5, m in 1usize..=3) {
+        let p = ModelParams::default();
+        let a = rs_chain(k, m, &p).annual_reliability();
+        let b = srs_chain(k, m, k, &p).annual_reliability();
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn faster_repair_is_more_reliable((k, m, s) in small_params()) {
+        let slow = ModelParams {
+            net_bandwidth_gib_s: 0.05,
+            ..ModelParams::default()
+        };
+        let fast = ModelParams {
+            net_bandwidth_gib_s: 1.0,
+            ..ModelParams::default()
+        };
+        let r_slow = srs_chain(k, m, s, &slow).annual_reliability();
+        let r_fast = srs_chain(k, m, s, &fast).annual_reliability();
+        prop_assert!(r_fast >= r_slow - 1e-12, "{r_fast} < {r_slow}");
+    }
+
+    #[test]
+    fn higher_failure_rate_is_less_reliable((k, m, s) in small_params()) {
+        let calm = ModelParams { lambda_per_year: 0.5, ..ModelParams::default() };
+        let hectic = ModelParams { lambda_per_year: 4.0, ..ModelParams::default() };
+        let r_calm = srs_chain(k, m, s, &calm).annual_reliability();
+        let r_hectic = srs_chain(k, m, s, &hectic).annual_reliability();
+        prop_assert!(r_calm >= r_hectic - 1e-12);
+    }
+
+    #[test]
+    fn nines_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(nines(lo) <= nines(hi) + 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generators and cost models for the Ring reproduction.
+//!
+//! Three families of inputs drive the paper's evaluation:
+//!
+//! - [`ycsb`]: YCSB-style key-value workloads (Cooper et al.) with
+//!   Zipfian, uniform and latest key distributions and configurable
+//!   get:put mixes — used by the throughput experiments (Figures 9/11).
+//! - [`spc`]: Storage Performance Council trace records plus synthetic
+//!   generators matching the published aggregate statistics of the five
+//!   traces the paper prices (Financial1/2, WebSearch1/2/3) — used by
+//!   the storage-pricing experiment (Figure 10). The real traces are
+//!   proprietary; only their op mixes, request sizes and footprints
+//!   matter for the cost model, and those are reproduced.
+//! - [`cost`]: the Azure Blob Storage pricing model (Feb-2018 Central
+//!   US price points) used to estimate the normalised cost of running a
+//!   trace under the hot / cold / simple storage schemes.
+
+pub mod cost;
+pub mod spc;
+pub mod ycsb;
+mod zipfian;
+
+pub use ycsb::{KeyDistribution, Op, WorkloadGen, WorkloadSpec};
+pub use zipfian::{ScrambledZipfian, Zipfian};

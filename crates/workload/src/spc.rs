@@ -1,0 +1,363 @@
+//! Storage Performance Council (SPC) trace records and synthetic
+//! generators for the five traces priced in the paper's Figure 10.
+//!
+//! The original traces (OLTP at a large financial institution, and a
+//! popular search engine's I/O) are distributed by the SPC and are not
+//! redistributable; the pricing experiment only depends on each trace's
+//! *aggregate* statistics — operation mix, request sizes, transferred
+//! volume and footprint — so [`TraceProfile`] reproduces those from the
+//! published trace characterisations and [`synthesize`] emits records in
+//! the SPC trace file format (ASU, LBA, size, opcode, timestamp).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One SPC trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpcRecord {
+    /// Application-specific unit (logical volume id).
+    pub asu: u32,
+    /// Logical block address (512-byte blocks).
+    pub lba: u64,
+    /// Request size in bytes.
+    pub size: u32,
+    /// `true` for reads, `false` for writes.
+    pub is_read: bool,
+    /// Seconds since trace start.
+    pub timestamp: f64,
+}
+
+impl SpcRecord {
+    /// Renders the record in the SPC trace file format:
+    /// `ASU,LBA,size,opcode,timestamp`.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{},{},{},{},{:.6}",
+            self.asu,
+            self.lba,
+            self.size,
+            if self.is_read { 'R' } else { 'W' },
+            self.timestamp
+        )
+    }
+
+    /// Parses a record from the SPC trace file format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed field.
+    pub fn parse_line(line: &str) -> Result<SpcRecord, String> {
+        let fields: Vec<&str> = line.trim().split(',').collect();
+        if fields.len() < 5 {
+            return Err(format!("expected 5 fields, got {}", fields.len()));
+        }
+        let asu = fields[0].parse().map_err(|e| format!("asu: {e}"))?;
+        let lba = fields[1].parse().map_err(|e| format!("lba: {e}"))?;
+        let size = fields[2].parse().map_err(|e| format!("size: {e}"))?;
+        let is_read = match fields[3].trim() {
+            "R" | "r" => true,
+            "W" | "w" => false,
+            other => return Err(format!("opcode: unknown '{other}'")),
+        };
+        let timestamp = fields[4].parse().map_err(|e| format!("timestamp: {e}"))?;
+        Ok(SpcRecord {
+            asu,
+            lba,
+            size,
+            is_read,
+            timestamp,
+        })
+    }
+}
+
+/// Aggregate profile of one of the paper's five traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceProfile {
+    /// Trace name as used in Figure 10.
+    pub name: &'static str,
+    /// Total number of requests in the original trace.
+    pub requests: u64,
+    /// Fraction of requests that are writes.
+    pub write_ratio: f64,
+    /// Mean request size in bytes.
+    pub mean_request_bytes: u32,
+    /// Footprint (stored capacity the trace touches) in GiB.
+    pub footprint_gib: f64,
+    /// Trace duration in hours.
+    pub duration_hours: f64,
+}
+
+/// The five traces of Figure 10, with aggregate statistics from the
+/// published SPC trace characterisations (UMass trace repository).
+pub const TRACES: [TraceProfile; 5] = [
+    TraceProfile {
+        name: "Financial1",
+        requests: 5_334_987,
+        write_ratio: 0.768, // Put-heavy OLTP.
+        mean_request_bytes: 3_584,
+        footprint_gib: 17.2,
+        duration_hours: 12.1,
+    },
+    TraceProfile {
+        name: "Financial2",
+        requests: 3_699_194,
+        write_ratio: 0.176, // OLTP, read-dominant but write-significant.
+        mean_request_bytes: 2_560,
+        footprint_gib: 8.4,
+        duration_hours: 12.0,
+    },
+    TraceProfile {
+        name: "WebSearch1",
+        requests: 1_055_448,
+        write_ratio: 0.0002,
+        mean_request_bytes: 15_360,
+        footprint_gib: 15.2,
+        duration_hours: 2.5,
+    },
+    TraceProfile {
+        name: "WebSearch2",
+        requests: 4_579_809,
+        write_ratio: 0.0002,
+        mean_request_bytes: 15_360,
+        footprint_gib: 15.8,
+        duration_hours: 4.3,
+    },
+    TraceProfile {
+        name: "WebSearch3",
+        requests: 4_261_709,
+        write_ratio: 0.0002,
+        mean_request_bytes: 15_360,
+        footprint_gib: 16.2,
+        duration_hours: 4.5,
+    },
+];
+
+/// Looks a trace profile up by name.
+pub fn trace_by_name(name: &str) -> Option<&'static TraceProfile> {
+    TRACES.iter().find(|t| t.name == name)
+}
+
+/// Aggregate I/O statistics of a trace (measured or synthesized) — the
+/// inputs of the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of read requests.
+    pub reads: u64,
+    /// Number of write requests.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Footprint in GiB.
+    pub footprint_gib: f64,
+    /// Duration in hours.
+    pub duration_hours: f64,
+}
+
+impl TraceStats {
+    /// Accumulates one record.
+    pub fn add(&mut self, r: &SpcRecord) {
+        if r.is_read {
+            self.reads += 1;
+            self.read_bytes += r.size as u64;
+        } else {
+            self.writes += 1;
+            self.write_bytes += r.size as u64;
+        }
+        self.duration_hours = self.duration_hours.max(r.timestamp / 3600.0);
+    }
+
+    /// Exact expected statistics of a profile (no sampling noise) — used
+    /// when pricing full traces without materialising millions of
+    /// records.
+    pub fn from_profile(p: &TraceProfile) -> TraceStats {
+        let writes = (p.requests as f64 * p.write_ratio).round() as u64;
+        let reads = p.requests - writes;
+        TraceStats {
+            reads,
+            writes,
+            read_bytes: reads * p.mean_request_bytes as u64,
+            write_bytes: writes * p.mean_request_bytes as u64,
+            footprint_gib: p.footprint_gib,
+            duration_hours: p.duration_hours,
+        }
+    }
+}
+
+/// Synthesizes `n` records statistically matching `profile`.
+///
+/// Request sizes are drawn from a geometric-ish mixture around the mean
+/// (SPC sizes are multiples of 512); arrival times are uniform over the
+/// trace duration and emitted in order.
+pub fn synthesize(profile: &TraceProfile, n: usize, seed: u64) -> Vec<SpcRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let footprint_blocks = (profile.footprint_gib * (1u64 << 30) as f64 / 512.0) as u64;
+    let mut out = Vec::with_capacity(n);
+    let dt = profile.duration_hours * 3600.0 / n.max(1) as f64;
+    for i in 0..n {
+        let is_read = rng.gen::<f64>() >= profile.write_ratio;
+        // Sizes: half mean, mean, or 2x mean (rounded to 512).
+        let factor = match rng.gen_range(0..4) {
+            0 => 0.5,
+            1 | 2 => 1.0,
+            _ => 1.5,
+        };
+        let size = ((profile.mean_request_bytes as f64 * factor) as u32).div_ceil(512) * 512;
+        out.push(SpcRecord {
+            asu: rng.gen_range(0..3),
+            lba: rng.gen_range(0..footprint_blocks.max(1)),
+            size,
+            is_read,
+            timestamp: dt * i as f64,
+        });
+    }
+    out
+}
+
+/// Writes records to a file in the SPC trace format (one record per
+/// line: `ASU,LBA,size,opcode,timestamp`).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_trace_file(path: &std::path::Path, records: &[SpcRecord]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for r in records {
+        writeln!(f, "{}", r.to_line())?;
+    }
+    Ok(())
+}
+
+/// Reads an SPC-format trace file, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns I/O errors, or `InvalidData` for malformed records.
+pub fn read_trace_file(path: &std::path::Path) -> std::io::Result<Vec<SpcRecord>> {
+    use std::io::BufRead;
+    let f = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (no, line) in f.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = SpcRecord::parse_line(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("line {}: {e}", no + 1),
+            )
+        })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_line_round_trip() {
+        let r = SpcRecord {
+            asu: 2,
+            lba: 123456,
+            size: 4096,
+            is_read: true,
+            timestamp: 12.5,
+        };
+        let parsed = SpcRecord::parse_line(&r.to_line()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(SpcRecord::parse_line("1,2,3").is_err());
+        assert!(SpcRecord::parse_line("1,2,3,X,4").is_err());
+        assert!(SpcRecord::parse_line("a,2,3,R,4").is_err());
+    }
+
+    #[test]
+    fn five_traces_defined() {
+        assert_eq!(TRACES.len(), 5);
+        assert!(trace_by_name("Financial1").is_some());
+        assert!(trace_by_name("WebSearch3").is_some());
+        assert!(trace_by_name("Nope").is_none());
+    }
+
+    #[test]
+    fn financial1_is_put_heavy_websearch_get_heavy() {
+        let f1 = trace_by_name("Financial1").unwrap();
+        assert!(f1.write_ratio > 0.5);
+        for ws in ["WebSearch1", "WebSearch2", "WebSearch3"] {
+            assert!(trace_by_name(ws).unwrap().write_ratio < 0.01, "{ws}");
+        }
+    }
+
+    #[test]
+    fn synthesized_trace_matches_profile() {
+        let p = trace_by_name("Financial1").unwrap();
+        let recs = synthesize(p, 50_000, 7);
+        assert_eq!(recs.len(), 50_000);
+        let mut stats = TraceStats::default();
+        for r in &recs {
+            stats.add(r);
+        }
+        let wr = stats.writes as f64 / (stats.reads + stats.writes) as f64;
+        assert!((wr - p.write_ratio).abs() < 0.02, "write ratio {wr}");
+        let mean = (stats.read_bytes + stats.write_bytes) / (stats.reads + stats.writes);
+        let expect = p.mean_request_bytes as u64;
+        assert!(
+            mean > expect / 2 && mean < expect * 2,
+            "mean size {mean} vs {expect}"
+        );
+        // Timestamps ordered, sizes 512-aligned.
+        for w in recs.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        assert!(recs.iter().all(|r| r.size % 512 == 0 && r.size > 0));
+    }
+
+    #[test]
+    fn trace_file_round_trip() {
+        let dir = std::env::temp_dir().join("ring_spc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.spc");
+        let records = synthesize(trace_by_name("Financial2").unwrap(), 500, 3);
+        write_trace_file(&path, &records).unwrap();
+        let back = read_trace_file(&path).unwrap();
+        assert_eq!(back.len(), records.len());
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a.asu, b.asu);
+            assert_eq!(a.lba, b.lba);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.is_read, b.is_read);
+            assert!((a.timestamp - b.timestamp).abs() < 1e-3);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_file_rejects_garbage() {
+        let dir = std::env::temp_dir().join("ring_spc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.spc");
+        std::fs::write(&path, "0,1,512,R,0.0\nnot a record\n").unwrap();
+        let err = read_trace_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_from_profile_consistent() {
+        let p = trace_by_name("WebSearch1").unwrap();
+        let s = TraceStats::from_profile(p);
+        assert_eq!(s.reads + s.writes, p.requests);
+        assert!(s.reads > s.writes * 1000);
+        assert_eq!(s.footprint_gib, p.footprint_gib);
+    }
+}

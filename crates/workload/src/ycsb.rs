@@ -1,0 +1,315 @@
+//! YCSB-style key-value workload generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipfian::{ScrambledZipfian, Zipfian};
+
+/// How keys are drawn from the key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// YCSB Zipfian: rank-0 key hottest.
+    Zipfian,
+    /// YCSB scrambled Zipfian: Zipfian popularity, hashed placement.
+    ScrambledZipfian,
+    /// YCSB "latest": Zipfian skew towards the most recently inserted
+    /// keys (highest ids).
+    Latest,
+}
+
+/// A single generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Read the value of a key.
+    Get {
+        /// The key, as an 8-byte YCSB-style identifier.
+        key: u64,
+    },
+    /// Write `value_len` bytes to a key.
+    Put {
+        /// The key.
+        key: u64,
+        /// Value size in bytes.
+        value_len: usize,
+    },
+}
+
+impl Op {
+    /// The key the operation touches.
+    pub fn key(&self) -> u64 {
+        match self {
+            Op::Get { key } | Op::Put { key, .. } => *key,
+        }
+    }
+
+    /// Returns true for get operations.
+    pub fn is_get(&self) -> bool {
+        matches!(self, Op::Get { .. })
+    }
+}
+
+/// Workload parameters: the knobs of the paper's Figure 11 (get:put
+/// ratios over a Zipfian key distribution with 8-byte keys and 1 KiB
+/// values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of distinct keys.
+    pub key_count: u64,
+    /// Value size in bytes for puts.
+    pub value_len: usize,
+    /// Fraction of operations that are gets, in `[0, 1]`.
+    pub get_ratio: f64,
+    /// Key distribution.
+    pub distribution: KeyDistribution,
+}
+
+impl WorkloadSpec {
+    /// The paper's Figure 11 configuration with the given get ratio:
+    /// Zipfian keys, 1 KiB values.
+    pub fn figure11(get_ratio: f64) -> WorkloadSpec {
+        WorkloadSpec {
+            key_count: 100_000,
+            value_len: 1024,
+            get_ratio,
+            distribution: KeyDistribution::ScrambledZipfian,
+        }
+    }
+
+    fn ycsb(get_ratio: f64, distribution: KeyDistribution) -> WorkloadSpec {
+        WorkloadSpec {
+            key_count: 100_000,
+            value_len: 1024,
+            get_ratio,
+            distribution,
+        }
+    }
+
+    /// YCSB workload A: update heavy (50:50), Zipfian.
+    pub fn ycsb_a() -> WorkloadSpec {
+        Self::ycsb(0.5, KeyDistribution::ScrambledZipfian)
+    }
+
+    /// YCSB workload B: read mostly (95:5), Zipfian.
+    pub fn ycsb_b() -> WorkloadSpec {
+        Self::ycsb(0.95, KeyDistribution::ScrambledZipfian)
+    }
+
+    /// YCSB workload C: read only, Zipfian.
+    pub fn ycsb_c() -> WorkloadSpec {
+        Self::ycsb(1.0, KeyDistribution::ScrambledZipfian)
+    }
+
+    /// YCSB workload D: read latest (95:5 over the newest keys).
+    pub fn ycsb_d() -> WorkloadSpec {
+        Self::ycsb(0.95, KeyDistribution::Latest)
+    }
+
+    /// YCSB workload F approximation: read-modify-write dominant
+    /// (every write paired with a read -> 50:50 mix), Zipfian.
+    pub fn ycsb_f() -> WorkloadSpec {
+        Self::ycsb(0.5, KeyDistribution::ScrambledZipfian)
+    }
+}
+
+enum KeyGen {
+    Uniform,
+    Zipfian(Zipfian),
+    Scrambled(ScrambledZipfian),
+    Latest(Zipfian),
+}
+
+/// A deterministic, seedable stream of operations.
+pub struct WorkloadGen {
+    spec: WorkloadSpec,
+    keys: KeyGen,
+    rng: StdRng,
+}
+
+impl WorkloadGen {
+    /// Creates a generator for `spec`, deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_count == 0` or `get_ratio` is outside `[0, 1]`.
+    pub fn new(spec: WorkloadSpec, seed: u64) -> WorkloadGen {
+        assert!(spec.key_count > 0, "need at least one key");
+        assert!(
+            (0.0..=1.0).contains(&spec.get_ratio),
+            "get_ratio must be in [0, 1]"
+        );
+        let keys = match spec.distribution {
+            KeyDistribution::Uniform => KeyGen::Uniform,
+            KeyDistribution::Zipfian => KeyGen::Zipfian(Zipfian::new(spec.key_count)),
+            KeyDistribution::ScrambledZipfian => {
+                KeyGen::Scrambled(ScrambledZipfian::new(spec.key_count))
+            }
+            KeyDistribution::Latest => KeyGen::Latest(Zipfian::new(spec.key_count)),
+        };
+        WorkloadGen {
+            spec,
+            keys,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The workload parameters.
+    pub fn spec(&self) -> WorkloadSpec {
+        self.spec
+    }
+
+    /// Draws the next key.
+    pub fn next_key(&mut self) -> u64 {
+        match &self.keys {
+            KeyGen::Uniform => self.rng.gen_range(0..self.spec.key_count),
+            KeyGen::Zipfian(z) => z.next(&mut self.rng),
+            KeyGen::Scrambled(z) => z.next(&mut self.rng),
+            KeyGen::Latest(z) => {
+                // Rank 0 = the newest key (highest id).
+                self.spec.key_count - 1 - z.next(&mut self.rng)
+            }
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let key = self.next_key();
+        if self.rng.gen::<f64>() < self.spec.get_ratio {
+            Op::Get { key }
+        } else {
+            Op::Put {
+                key,
+                value_len: self.spec.value_len,
+            }
+        }
+    }
+
+    /// Generates a batch of `n` operations.
+    pub fn batch(&mut self, n: usize) -> Vec<Op> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+
+    /// Generates the keys needed to pre-load the store (every key once,
+    /// in order), as puts.
+    pub fn load_phase(&self) -> impl Iterator<Item = Op> + '_ {
+        (0..self.spec.key_count).map(move |key| Op::Put {
+            key,
+            value_len: self.spec.value_len,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_respected() {
+        for (ratio, lo, hi) in [
+            (1.0, 1.0, 1.0),
+            (0.95, 0.93, 0.97),
+            (0.5, 0.47, 0.53),
+            (0.0, 0.0, 0.0),
+        ] {
+            let mut gen = WorkloadGen::new(WorkloadSpec::figure11(ratio), 42);
+            let ops = gen.batch(20_000);
+            let gets = ops.iter().filter(|o| o.is_get()).count() as f64 / ops.len() as f64;
+            assert!((lo..=hi).contains(&gets), "ratio {ratio}: observed {gets}");
+        }
+    }
+
+    #[test]
+    fn keys_in_range_for_all_distributions() {
+        for dist in [
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipfian,
+            KeyDistribution::ScrambledZipfian,
+        ] {
+            let spec = WorkloadSpec {
+                key_count: 37,
+                value_len: 64,
+                get_ratio: 0.5,
+                distribution: dist,
+            };
+            let mut gen = WorkloadGen::new(spec, 1);
+            for _ in 0..5_000 {
+                assert!(gen.next_key() < 37, "{dist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = WorkloadSpec::figure11(0.5);
+        let mut a = WorkloadGen::new(spec, 9);
+        let mut b = WorkloadGen::new(spec, 9);
+        assert_eq!(a.batch(1000), b.batch(1000));
+        let mut c = WorkloadGen::new(spec, 10);
+        assert_ne!(a.batch(1000), c.batch(1000));
+    }
+
+    #[test]
+    fn load_phase_covers_every_key_once() {
+        let spec = WorkloadSpec {
+            key_count: 100,
+            value_len: 8,
+            get_ratio: 0.5,
+            distribution: KeyDistribution::Uniform,
+        };
+        let gen = WorkloadGen::new(spec, 0);
+        let keys: Vec<u64> = gen.load_phase().map(|op| op.key()).collect();
+        assert_eq!(keys, (0..100).collect::<Vec<_>>());
+        assert!(gen.load_phase().all(|op| !op.is_get()));
+    }
+
+    #[test]
+    fn put_value_len_matches_spec() {
+        let mut gen = WorkloadGen::new(WorkloadSpec::figure11(0.0), 3);
+        match gen.next_op() {
+            Op::Put { value_len, .. } => assert_eq!(value_len, 1024),
+            other => panic!("expected put, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latest_distribution_prefers_new_keys() {
+        let spec = WorkloadSpec {
+            key_count: 1000,
+            value_len: 8,
+            get_ratio: 1.0,
+            distribution: KeyDistribution::Latest,
+        };
+        let mut gen = WorkloadGen::new(spec, 6);
+        let mut newest = 0u32;
+        let mut oldest = 0u32;
+        for _ in 0..10_000 {
+            let k = gen.next_key();
+            assert!(k < 1000);
+            if k >= 900 {
+                newest += 1;
+            }
+            if k < 100 {
+                oldest += 1;
+            }
+        }
+        assert!(newest > oldest * 5, "newest {newest} vs oldest {oldest}");
+    }
+
+    #[test]
+    fn ycsb_presets_have_documented_mixes() {
+        assert_eq!(WorkloadSpec::ycsb_a().get_ratio, 0.5);
+        assert_eq!(WorkloadSpec::ycsb_b().get_ratio, 0.95);
+        assert_eq!(WorkloadSpec::ycsb_c().get_ratio, 1.0);
+        assert_eq!(WorkloadSpec::ycsb_d().distribution, KeyDistribution::Latest);
+        assert_eq!(WorkloadSpec::ycsb_f().get_ratio, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "get_ratio")]
+    fn bad_ratio_rejected() {
+        let mut spec = WorkloadSpec::figure11(0.5);
+        spec.get_ratio = 1.5;
+        let _ = WorkloadGen::new(spec, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Zipfian number generation, following the YCSB implementation of the
+//! Gray et al. "Quickly generating billion-record synthetic databases"
+//! algorithm.
+
+use rand::Rng;
+
+/// Default skew used by YCSB.
+pub const YCSB_ZIPFIAN_CONSTANT: f64 = 0.99;
+
+/// A Zipfian generator over `0..n`: item `i` is drawn with probability
+/// proportional to `1 / (i + 1)^theta`.
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    items: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// Creates a generator over `0..items` with the YCSB default skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0`.
+    pub fn new(items: u64) -> Zipfian {
+        Zipfian::with_theta(items, YCSB_ZIPFIAN_CONSTANT)
+    }
+
+    /// Creates a generator with an explicit skew `theta` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or `theta` is outside `(0, 1)`.
+    pub fn with_theta(items: u64, theta: f64) -> Zipfian {
+        assert!(items > 0, "need at least one item");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0, 1)");
+        let zetan = Self::zeta(items, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Zipfian {
+            items,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2theta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Draws the next value in `0..items` (0 is the hottest key).
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha);
+        (v as u64).min(self.items - 1)
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// `zeta(2, theta)` — exposed for testing the constants.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2theta
+    }
+}
+
+/// FNV-1a 64-bit hash, as used by YCSB's scrambled Zipfian.
+fn fnv1a(mut x: u64) -> u64 {
+    const PRIME: u64 = 0x100000001b3;
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for _ in 0..8 {
+        let octet = x & 0xff;
+        x >>= 8;
+        hash ^= octet;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A scrambled Zipfian: Zipfian popularity ranks hashed over the key
+/// space so that hot keys are spread rather than clustered at 0.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+    items: u64,
+}
+
+impl ScrambledZipfian {
+    /// Creates a scrambled generator over `0..items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0`.
+    pub fn new(items: u64) -> ScrambledZipfian {
+        ScrambledZipfian {
+            inner: Zipfian::new(items),
+            items,
+        }
+    }
+
+    /// Draws the next key in `0..items`.
+    pub fn next<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        fnv1a(self.inner.next(rng)) % self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn values_stay_in_range() {
+        let z = Zipfian::new(100);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.next(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = Zipfian::new(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(z.next(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed_toward_zero() {
+        let z = Zipfian::new(1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0u32; 1000];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        // Item 0 should get roughly 1/zeta(1000, .99) ~ 12-13% of draws.
+        let p0 = counts[0] as f64 / draws as f64;
+        assert!(p0 > 0.08 && p0 < 0.20, "p0 = {p0}");
+        // Head heavier than tail.
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[990..].iter().sum();
+        assert!(head > tail * 20, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn relative_frequencies_follow_power_law() {
+        let z = Zipfian::with_theta(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..500_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        // count(0)/count(9) should be near (10/1)^0.99 ~ 9.77; allow slack.
+        let ratio = counts[0] as f64 / counts[9] as f64;
+        assert!(ratio > 5.0 && ratio < 16.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn scrambled_spreads_hot_keys() {
+        let z = ScrambledZipfian::new(1000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        // The hottest key should not be key 0 specifically (scrambling),
+        // but a clear hot key must exist somewhere.
+        let max = counts.iter().copied().max().unwrap();
+        assert!(max > 5_000, "hottest key only {max} hits");
+        let nonzero = counts.iter().filter(|&&c| c > 0).count();
+        assert!(nonzero > 300, "only {nonzero} distinct keys drawn");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_rejected() {
+        let _ = Zipfian::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_rejected() {
+        let _ = Zipfian::with_theta(10, 1.5);
+    }
+
+    #[test]
+    fn deterministic_with_seeded_rng() {
+        let z = Zipfian::new(50);
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.next(&mut a), z.next(&mut b));
+        }
+    }
+}

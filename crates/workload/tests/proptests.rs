@@ -1,0 +1,104 @@
+//! Property-based tests for workload generation and the cost model.
+
+use proptest::prelude::*;
+use ring_workload::cost::{normalized_prices, price, SchemeClass};
+use ring_workload::spc::{SpcRecord, TraceStats};
+use ring_workload::{KeyDistribution, WorkloadGen, WorkloadSpec, Zipfian};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zipfian_stays_in_range(items in 1u64..10_000, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let z = Zipfian::new(items);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.next(&mut rng) < items);
+        }
+    }
+
+    #[test]
+    fn workload_ops_respect_spec(
+        keys in 1u64..5_000,
+        ratio in 0.0f64..=1.0,
+        vlen in 1usize..4096,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec {
+            key_count: keys,
+            value_len: vlen,
+            get_ratio: ratio,
+            distribution: KeyDistribution::ScrambledZipfian,
+        };
+        let mut gen = WorkloadGen::new(spec, seed);
+        for op in gen.batch(300) {
+            prop_assert!(op.key() < keys);
+            if let ring_workload::Op::Put { value_len, .. } = op {
+                prop_assert_eq!(value_len, vlen);
+            }
+        }
+    }
+
+    #[test]
+    fn spc_record_line_round_trips(
+        asu in 0u32..10,
+        lba in any::<u64>(),
+        size in (1u32..1000).prop_map(|x| x * 512),
+        is_read in any::<bool>(),
+        ts in 0.0f64..1e6,
+    ) {
+        let r = SpcRecord { asu, lba, size, is_read, timestamp: ts };
+        let parsed = SpcRecord::parse_line(&r.to_line()).unwrap();
+        prop_assert_eq!(parsed.asu, r.asu);
+        prop_assert_eq!(parsed.lba, r.lba);
+        prop_assert_eq!(parsed.size, r.size);
+        prop_assert_eq!(parsed.is_read, r.is_read);
+        prop_assert!((parsed.timestamp - r.timestamp).abs() < 1e-3);
+    }
+
+    #[test]
+    fn prices_scale_monotonically_with_ops(
+        reads in 0u64..10_000_000,
+        writes in 0u64..10_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let base = TraceStats {
+            reads,
+            writes,
+            read_bytes: reads * 4096,
+            write_bytes: writes * 4096,
+            footprint_gib: 10.0,
+            duration_hours: 12.0,
+        };
+        let mut more_writes = base;
+        more_writes.writes += extra;
+        more_writes.write_bytes += extra * 4096;
+        for class in SchemeClass::ALL {
+            let a = price(&base, class).total();
+            let b = price(&more_writes, class).total();
+            prop_assert!(b >= a, "{class:?}: {b} < {a}");
+        }
+    }
+
+    #[test]
+    fn simple_always_normalises_to_one(
+        reads in 1u64..1_000_000,
+        writes in 1u64..1_000_000,
+    ) {
+        let stats = TraceStats {
+            reads,
+            writes,
+            read_bytes: reads * 1024,
+            write_bytes: writes * 1024,
+            footprint_gib: 5.0,
+            duration_hours: 10.0,
+        };
+        let rows = normalized_prices(&stats);
+        let simple = rows.iter().find(|(c, _, _)| *c == SchemeClass::Simple).unwrap();
+        prop_assert!((simple.2 - 1.0).abs() < 1e-12);
+        // Hot is never cheaper than simple (same prices, pricier puts).
+        let hot = rows.iter().find(|(c, _, _)| *c == SchemeClass::Hot).unwrap();
+        prop_assert!(hot.2 >= 1.0 - 1e-12);
+    }
+}

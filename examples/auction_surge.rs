@@ -1,0 +1,68 @@
+//! Heavy updates (Section 2, use case 2): the last seconds of an online
+//! auction.
+//!
+//! During the bidding surge the item is moved to the unreliable
+//! high-performance memgest to absorb millions of updates; Ring keeps a
+//! reliable backup version (versioning with `keep_old_versions`), so the
+//! overall reliability is not reduced. After the hammer falls the final
+//! price is moved back to reliable storage.
+//!
+//! ```text
+//! cargo run --example auction_surge --release
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ring_kvs::{Cluster, ClusterSpec};
+
+const RELIABLE: u32 = 6; // SRS(3,2).
+const FAST: u32 = 0; // Rep(1), unreliable.
+const ITEM: u64 = 4711;
+
+fn bid_storm(client: &mut ring_kvs::RingClient, memgest: u32, duration: Duration) -> (u64, f64) {
+    let start = Instant::now();
+    let mut bids = 0u64;
+    let mut price = 100u64;
+    while start.elapsed() < duration {
+        price += 1;
+        client
+            .put_to(ITEM, &price.to_le_bytes(), memgest)
+            .expect("bid");
+        bids += 1;
+    }
+    (price, bids as f64 / start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let spec = ClusterSpec {
+        keep_old_versions: true, // Preserve the reliable backup copy.
+        ..ClusterSpec::paper_evaluation()
+    };
+    let cluster = Cluster::start(spec);
+    let mut client = cluster.client();
+
+    // Normal phase: the item lives in reliable erasure-coded storage.
+    client
+        .put_to(ITEM, &100u64.to_le_bytes(), RELIABLE)
+        .unwrap();
+    let (price, rate) = bid_storm(&mut client, RELIABLE, Duration::from_millis(500));
+    println!("normal phase on SRS(3,2): {rate:.0} bids/s (price {price})");
+
+    // Surge detected: move the item to the unreliable memgest. The
+    // previous reliable version remains as a backup thanks to
+    // versioning.
+    client.move_key(ITEM, FAST).unwrap();
+    let (final_price, surge_rate) = bid_storm(&mut client, FAST, Duration::from_millis(500));
+    println!(
+        "surge phase on Rep(1):   {surge_rate:.0} bids/s (price {final_price}) — {:.1}x speedup",
+        surge_rate / rate
+    );
+
+    // Auction closed: persist the final price reliably again.
+    client.move_key(ITEM, RELIABLE).unwrap();
+    let stored = client.get(ITEM).unwrap();
+    assert_eq!(stored, final_price.to_le_bytes());
+    println!("final price {final_price} persisted back to SRS(3,2)");
+
+    cluster.shutdown();
+}

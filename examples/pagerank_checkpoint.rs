@@ -1,0 +1,103 @@
+//! Importance of the data (Section 2, use case 3): iterative algorithms
+//! whose intermediate state grows more valuable over time.
+//!
+//! A toy PageRank runs on a small graph. Early iterations are cheap to
+//! recompute, so their checkpoints go to the unreliable memgest; as the
+//! computation progresses the recompute cost rises and the checkpoint's
+//! resilience is dynamically increased (REP1 → SRS21 → SRS32 → REP3)
+//! with `move` — no recomputation, no copies through the client.
+//!
+//! ```text
+//! cargo run --example pagerank_checkpoint --release
+//! ```
+
+use ring_kvs::{Cluster, ClusterSpec};
+
+const N: usize = 64; // Vertices.
+const ITERS: usize = 20;
+const DAMPING: f64 = 0.85;
+
+/// Resilience schedule: iteration -> memgest.
+fn memgest_for_iteration(i: usize) -> (u32, &'static str) {
+    match i {
+        0..=4 => (0, "REP1 (recompute is cheap)"),
+        5..=9 => (4, "SRS21 (one failure)"),
+        10..=14 => (6, "SRS32 (two failures)"),
+        _ => (2, "REP3 (full replication near convergence)"),
+    }
+}
+
+fn encode(ranks: &[f64]) -> Vec<u8> {
+    ranks.iter().flat_map(|r| r.to_le_bytes()).collect()
+}
+
+fn decode(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+fn main() {
+    let cluster = Cluster::start(ClusterSpec::paper_evaluation());
+    let mut client = cluster.client();
+
+    // A ring-of-cliques toy graph: vertex i links to i+1 and i/2.
+    let edges: Vec<(usize, usize)> = (0..N)
+        .flat_map(|i| [(i, (i + 1) % N), (i, i / 2)])
+        .collect();
+    let mut out_degree = vec![0usize; N];
+    for &(src, _) in &edges {
+        out_degree[src] += 1;
+    }
+
+    let mut ranks = vec![1.0 / N as f64; N];
+    let checkpoint_key = 9000u64;
+    let mut previous_memgest: Option<u32> = None;
+
+    for iter in 0..ITERS {
+        // One synchronous PageRank step.
+        let mut next = vec![(1.0 - DAMPING) / N as f64; N];
+        for &(src, dst) in &edges {
+            next[dst] += DAMPING * ranks[src] / out_degree[src] as f64;
+        }
+        ranks = next;
+
+        // Checkpoint with iteration-appropriate resilience.
+        let (mid, label) = memgest_for_iteration(iter);
+        match previous_memgest {
+            Some(prev) if prev == mid => {
+                client.put_to(checkpoint_key, &encode(&ranks), mid).unwrap();
+            }
+            Some(_) => {
+                // Raise resilience in place, then overwrite with the new
+                // iterate (higher version, same memgest).
+                client.move_key(checkpoint_key, mid).unwrap();
+                client.put_to(checkpoint_key, &encode(&ranks), mid).unwrap();
+                println!("iteration {iter:2}: checkpoint escalated to {label}");
+            }
+            None => {
+                client.put_to(checkpoint_key, &encode(&ranks), mid).unwrap();
+                println!("iteration {iter:2}: checkpoint starts in {label}");
+            }
+        }
+        previous_memgest = Some(mid);
+    }
+
+    // Restore from the final checkpoint and verify.
+    let restored = decode(&client.get(checkpoint_key).unwrap());
+    assert_eq!(restored.len(), N);
+    let total: f64 = restored.iter().sum();
+    println!(
+        "\nrestored final checkpoint: {} ranks, sum = {total:.6} (should be ~1)",
+        restored.len()
+    );
+    assert!((total - 1.0).abs() < 1e-6);
+    let max = restored
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaNs"))
+        .expect("non-empty");
+    println!("highest-ranked vertex: {} (rank {:.4})", max.0, max.1);
+    cluster.shutdown();
+}

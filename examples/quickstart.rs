@@ -1,0 +1,55 @@
+//! Quickstart: boot an in-process Ring cluster, use the whole API.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use ring_kvs::{Cluster, ClusterSpec, MemgestDescriptor};
+
+fn main() {
+    // The paper's evaluation deployment: 5 nodes (3 coordinators + 2
+    // redundant), seven memgests: REP1..REP4, SRS21, SRS31, SRS32.
+    let cluster = Cluster::start(ClusterSpec::paper_evaluation());
+    let mut client = cluster.client();
+
+    // Plain puts go to the default memgest (REP1, unreliable).
+    let v1 = client.put(1, b"hello ring").unwrap();
+    println!("put key=1 -> version {v1}");
+    assert_eq!(client.get(1).unwrap(), b"hello ring");
+
+    // Per-key resilience: store important data erasure-coded...
+    client.put_to(2, b"precious", 6).unwrap(); // SRS(3,2): tolerates 2 failures.
+                                               // ...and hot data fully replicated.
+    client.put_to(3, b"hot item", 2).unwrap(); // Rep(3).
+
+    // The key feature: every key lives in ONE strongly consistent
+    // namespace — a get never needs to know the storage scheme.
+    for key in [1u64, 2, 3] {
+        let (value, version) = client.get_versioned(key).unwrap();
+        println!(
+            "get key={key} -> {:?} (version {version})",
+            String::from_utf8_lossy(&value)
+        );
+    }
+
+    // Change a key's resilience in place: move is node-local thanks to
+    // the shared SRS key-to-node mapping, no remapping or migration.
+    let v = client.move_key(2, 2).unwrap(); // SRS(3,2) -> Rep(3).
+    println!("moved key=2 to REP3 -> version {v}");
+    assert_eq!(client.get(2).unwrap(), b"precious");
+
+    // Manage memgests at runtime.
+    let custom = client.create_memgest(MemgestDescriptor::srs(2, 2)).unwrap();
+    println!("created SRS(2,2) memgest -> id {custom}");
+    client.put_to(4, b"custom scheme", custom).unwrap();
+    let desc = client.memgest_descriptor(custom).unwrap();
+    println!("descriptor of {custom}: {:?}", desc.scheme);
+
+    // Delete.
+    client.delete(1).unwrap();
+    assert!(client.get(1).is_err());
+    println!("deleted key=1");
+
+    cluster.shutdown();
+    println!("done.");
+}

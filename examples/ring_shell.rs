@@ -1,0 +1,172 @@
+//! An interactive shell over an in-process Ring cluster: poke at the
+//! per-key resilience API by hand.
+//!
+//! ```text
+//! cargo run --example ring_shell --release
+//! ring> put 1 hello 6        # put key 1 into memgest 6 (SRS32)
+//! ring> get 1
+//! ring> move 1 0             # move it to REP1
+//! ring> stats 0              # node 0 introspection
+//! ring> kill 2               # crash node 2 (spare takes over)
+//! ring> help
+//! ```
+
+use std::io::{BufRead, Write};
+
+use ring_kvs::{Cluster, ClusterSpec, MemgestDescriptor, Scheme};
+
+const HELP: &str = "\
+commands:
+  put <key> <value> [memgest]   write a value (default memgest if omitted)
+  get <key>                     read the highest committed version
+  del <key>                     delete a key
+  move <key> <memgest>          change the key's storage scheme
+  mkmemgest rep <r>             create a Rep(r) memgest
+  mkmemgest srs <k> <m>         create an SRS(k,m) memgest
+  memgests                      list memgests
+  stats <node>                  node introspection (ops, bytes)
+  kill <node>                   crash a node
+  help                          this text
+  quit                          exit";
+
+fn main() {
+    let spec = ClusterSpec {
+        spares: 1,
+        ..ClusterSpec::paper_evaluation()
+    };
+    let cluster = Cluster::start(spec);
+    let mut client = cluster.client();
+    let mut memgests: Vec<(u32, String)> = vec![
+        (0, "REP1 (unreliable)".into()),
+        (1, "REP2".into()),
+        (2, "REP3".into()),
+        (3, "REP4".into()),
+        (4, "SRS(2,1)".into()),
+        (5, "SRS(3,1)".into()),
+        (6, "SRS(3,2)".into()),
+    ];
+
+    println!("Ring shell — 5 nodes + 1 spare, 7 memgests. Type `help`.");
+    let stdin = std::io::stdin();
+    loop {
+        print!("ring> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let outcome = match parts.as_slice() {
+            [] => continue,
+            ["quit"] | ["exit"] => break,
+            ["help"] => {
+                println!("{HELP}");
+                continue;
+            }
+            ["memgests"] => {
+                for (id, label) in &memgests {
+                    println!("  {id}: {label}");
+                }
+                continue;
+            }
+            ["put", key, value] => parse_key(key).and_then(|k| {
+                client
+                    .put(k, value.as_bytes())
+                    .map(|v| format!("ok (version {v})"))
+                    .map_err(|e| e.to_string())
+            }),
+            ["put", key, value, mid] => parse_key(key).and_then(|k| {
+                let mid: u32 = mid.parse().map_err(|_| "bad memgest id".to_string())?;
+                client
+                    .put_to(k, value.as_bytes(), mid)
+                    .map(|v| format!("ok (version {v})"))
+                    .map_err(|e| e.to_string())
+            }),
+            ["get", key] => parse_key(key).and_then(|k| {
+                client
+                    .get_versioned(k)
+                    .map(|(v, ver)| {
+                        format!("{:?} (version {ver})", String::from_utf8_lossy(&v))
+                    })
+                    .map_err(|e| e.to_string())
+            }),
+            ["del", key] => parse_key(key).and_then(|k| {
+                client
+                    .delete(k)
+                    .map(|()| "deleted".to_string())
+                    .map_err(|e| e.to_string())
+            }),
+            ["move", key, mid] => parse_key(key).and_then(|k| {
+                let mid: u32 = mid.parse().map_err(|_| "bad memgest id".to_string())?;
+                client
+                    .move_key(k, mid)
+                    .map(|v| format!("moved (version {v})"))
+                    .map_err(|e| e.to_string())
+            }),
+            ["mkmemgest", "rep", r] => r
+                .parse::<usize>()
+                .map_err(|_| "bad r".to_string())
+                .and_then(|r| {
+                    client
+                        .create_memgest(MemgestDescriptor::rep(r))
+                        .map_err(|e| e.to_string())
+                })
+                .map(|id| {
+                    memgests.push((id, format!("{}", Scheme::Rep { r: r.parse().unwrap_or(0) })));
+                    format!("created memgest {id}")
+                }),
+            ["mkmemgest", "srs", k, m] => {
+                let parsed = k
+                    .parse::<usize>()
+                    .and_then(|k| m.parse::<usize>().map(|m| (k, m)))
+                    .map_err(|_| "bad k/m".to_string());
+                parsed.and_then(|(k, m)| {
+                    client
+                        .create_memgest(MemgestDescriptor::srs(k, m))
+                        .map(|id| {
+                            memgests.push((id, format!("SRS({k},{m})")));
+                            format!("created memgest {id}")
+                        })
+                        .map_err(|e| e.to_string())
+                })
+            }
+            ["stats", node] => node
+                .parse::<u32>()
+                .map_err(|_| "bad node id".to_string())
+                .and_then(|n| client.node_stats(n).map_err(|e| e.to_string()))
+                .map(|s| {
+                    format!(
+                        "node {} epoch {} active={} | puts={} gets={} moves={} dels={} redundancy={} | data={}B redundancy={}B meta={}B",
+                        s.node,
+                        s.epoch,
+                        s.active,
+                        s.ops.puts,
+                        s.ops.gets,
+                        s.ops.moves,
+                        s.ops.deletes,
+                        s.ops.redundancy_updates,
+                        s.data_bytes(),
+                        s.redundancy_bytes(),
+                        s.meta_bytes()
+                    )
+                }),
+            ["kill", node] => node
+                .parse::<u32>()
+                .map_err(|_| "bad node id".to_string())
+                .map(|n| {
+                    cluster.kill(n);
+                    format!("node {n} killed (spare will take over)")
+                }),
+            other => Err(format!("unknown command {other:?} — try `help`")),
+        };
+        match outcome {
+            Ok(msg) => println!("{msg}"),
+            Err(msg) => println!("error: {msg}"),
+        }
+    }
+    cluster.shutdown();
+}
+
+fn parse_key(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad key '{s}'"))
+}

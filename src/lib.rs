@@ -1,0 +1,13 @@
+//! Umbrella crate for the Ring reproduction: re-exports every workspace
+//! crate so examples and integration tests can reach the full system
+//! through one dependency.
+//!
+//! See the README for the repository layout and DESIGN.md for the
+//! system inventory.
+
+pub use ring_erasure as erasure;
+pub use ring_gf as gf;
+pub use ring_kvs as kvs;
+pub use ring_net as net;
+pub use ring_reliability as reliability;
+pub use ring_workload as workload;
