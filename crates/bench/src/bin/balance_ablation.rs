@@ -68,7 +68,7 @@ fn main() {
                 get_ratio: 0.5,
                 distribution: KeyDistribution::Uniform,
             },
-            11,
+            cluster.spec().derived_seed("balance_ablation"),
         );
         let value = vec![9u8; 512];
         for op in gen.batch(ops) {

@@ -44,7 +44,7 @@ fn main() {
                 get_ratio,
                 distribution: KeyDistribution::ScrambledZipfian,
             };
-            let mut gen = WorkloadGen::new(spec, 7);
+            let mut gen = WorkloadGen::new(spec, cluster.spec().derived_seed("fig11"));
             let rate = mixed_throughput(&cluster, memgest_id(label), &mut gen, duration, 64);
             println!(
                 "{label}\t({:.0}%:{:.0}%)\t{}",

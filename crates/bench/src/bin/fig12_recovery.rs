@@ -10,11 +10,13 @@
 //! Expected shape: latency grows with metadata size, with high variance
 //! (the paper reports a complex multi-step sequence).
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use ring_bench::output::{header, us, write_json};
 use ring_bench::reps;
-use ring_kvs::{Cluster, ClusterSpec};
+use ring_kvs::proto::ClientResp;
+use ring_kvs::{Cluster, ClusterSpec, RingClient};
 
 #[derive(serde::Serialize)]
 struct Row {
@@ -29,8 +31,50 @@ struct Row {
 /// `ring_kvs::storage::MetaTable::approx_bytes`).
 const ENTRY_BYTES: usize = 36;
 
+/// Loads `keys` round-robin over the reliable memgests with a bounded
+/// pipeline of in-flight puts. The sequential version took one full
+/// round-trip per key, which at the 2 MiB point (~60k keys, repeated
+/// per sample round) overran the harness budget on a small machine.
+fn preload(client: &mut RingClient, keys: usize) {
+    const WINDOW: usize = 512;
+    let mut inflight: HashMap<_, u64> = HashMap::new();
+    let mut failed: Vec<u64> = Vec::new();
+    let mut drain = |client: &mut RingClient, inflight: &mut HashMap<_, u64>, min: usize| {
+        while inflight.len() > min {
+            let got = client.poll_responses();
+            if got.is_empty() {
+                // Don't spin: on an oversubscribed host the server
+                // threads need the cycles to answer.
+                std::thread::sleep(Duration::from_micros(100));
+                continue;
+            }
+            for (req, resp) in got {
+                if let Some(k) = inflight.remove(&req) {
+                    if !matches!(resp, ClientResp::PutOk { .. }) {
+                        failed.push(k);
+                    }
+                }
+            }
+        }
+    };
+    for k in 0..keys as u64 {
+        let mid = 1 + (k % 6) as u32; // Skip REP1: its data would be lost.
+        drain(client, &mut inflight, WINDOW - 1);
+        let req = client
+            .put_async(k, &k.to_le_bytes(), Some(mid))
+            .expect("preload send");
+        inflight.insert(req, k);
+    }
+    drain(client, &mut inflight, 0);
+    // Stragglers (e.g. a timed-out response) load synchronously.
+    for k in failed {
+        let mid = 1 + (k % 6) as u32;
+        client.put_to(k, &k.to_le_bytes(), mid).expect("preload");
+    }
+}
+
 fn main() {
-    let n = reps(12, 3);
+    let n_base = reps(12, 3);
     let fail_timeout = Duration::from_millis(250);
     // The paper sweeps 88 KiB .. 2128 KiB of metadata.
     let metadata_sizes: &[usize] = if ring_bench::quick_mode() {
@@ -56,6 +100,10 @@ fn main() {
     let mut rows = Vec::new();
     for &meta_bytes in metadata_sizes {
         let keys = meta_bytes / ENTRY_BYTES;
+        // Adaptive repetitions: a 2 MiB round costs ~25x an 88 KiB one,
+        // so spend the sample budget where rounds are cheap. The large
+        // points keep at least 3 samples.
+        let n = (n_base * metadata_sizes[0] / meta_bytes).clamp(3, n_base);
         let mut samples = Vec::with_capacity(n);
         let mut round = 0usize;
         while samples.len() < n && round < n * 4 {
@@ -70,15 +118,10 @@ fn main() {
             let mut client = cluster.client();
             // Load keys round-robin over the reliable memgests so every
             // memgest holds metadata that must be recovered.
-            let mut victim = None;
-            for k in 0..keys as u64 {
-                let mid = 1 + (k % 6) as u32; // Skip REP1: its data would be lost.
-                client.put_to(k, &k.to_le_bytes(), mid).expect("preload");
-                if victim.is_none() && cluster.coordinator_of(k) == 0 {
-                    victim = Some(k);
-                }
-            }
-            let victim = victim.expect("some key lands on node 0");
+            preload(&mut client, keys);
+            let victim = (0..keys as u64)
+                .find(|&k| cluster.coordinator_of(k) == 0)
+                .expect("some key lands on node 0");
             // A fine-grained prober: short attempts so the measurement
             // resolution is a few ms rather than the client timeout.
             let mut prober = cluster.client();

@@ -58,7 +58,7 @@ fn main() {
             get_ratio: 0.0,
             distribution: KeyDistribution::Uniform,
         };
-        let mut gen = WorkloadGen::new(spec, 3);
+        let mut gen = WorkloadGen::new(spec, cluster.spec().derived_seed("table1"));
         mixed_throughput(&cluster, memgest_id(label), &mut gen, dur, 64)
     };
     let t_simple = thr("REP1");

@@ -1,0 +1,398 @@
+//! Invocation/response history recording around `RingClient`.
+//!
+//! Each recorded write carries a globally unique *tag* `(client, op)`
+//! encoded into the value bytes, so a later read identifies exactly
+//! which write it observed — the precondition for register-style
+//! linearizability checking without value bookkeeping on the server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ring_kvs::{Key, MemgestId, RingClient, RingError, Version};
+
+use crate::mix64;
+
+/// Identity of one recorded write: `(recorder-client id, op id)`.
+pub type Tag = (u32, u64);
+
+const VALUE_MAGIC: u32 = 0xC4A0_5EED;
+
+/// Minimum value length able to carry a tag header.
+pub const MIN_VALUE_LEN: usize = 16;
+
+/// Encodes a tagged value of `len >= MIN_VALUE_LEN` bytes: a 16-byte
+/// header (magic, client, op) plus deterministic filler.
+pub fn encode_value(tag: Tag, len: usize) -> Vec<u8> {
+    assert!(len >= MIN_VALUE_LEN, "value too short for a tag header");
+    let mut v = Vec::with_capacity(len);
+    v.extend_from_slice(&VALUE_MAGIC.to_le_bytes());
+    v.extend_from_slice(&tag.0.to_le_bytes());
+    v.extend_from_slice(&tag.1.to_le_bytes());
+    let mut ctr = mix64(u64::from(tag.0) ^ tag.1.rotate_left(32));
+    while v.len() < len {
+        ctr = mix64(ctr);
+        let chunk = ctr.to_le_bytes();
+        let take = (len - v.len()).min(8);
+        v.extend_from_slice(&chunk[..take]);
+    }
+    v
+}
+
+/// Recovers the tag from a value written by [`encode_value`], if it is
+/// one (filler bytes are not verified; the 32-bit magic plus exact
+/// header layout make accidental matches implausible).
+pub fn decode_tag(value: &[u8]) -> Option<Tag> {
+    if value.len() < MIN_VALUE_LEN {
+        return None;
+    }
+    let magic = u32::from_le_bytes(value[0..4].try_into().expect("4 bytes"));
+    if magic != VALUE_MAGIC {
+        return None;
+    }
+    let client = u32::from_le_bytes(value[4..8].try_into().expect("4 bytes"));
+    let op = u64::from_le_bytes(value[8..16].try_into().expect("8 bytes"));
+    Some((client, op))
+}
+
+/// What a recorded operation asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invocation {
+    /// Write the tagged value (optionally targeting a memgest).
+    Put {
+        /// The write's unique tag.
+        tag: Tag,
+        /// Explicit memgest target, if any.
+        memgest: Option<MemgestId>,
+    },
+    /// Read the key.
+    Get,
+    /// Delete the key.
+    Delete,
+    /// Move the key's value to another memgest.
+    Move {
+        /// Destination memgest.
+        to: MemgestId,
+    },
+}
+
+/// What came back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Put committed at this version.
+    PutOk {
+        /// Version the coordinator assigned.
+        version: Version,
+    },
+    /// Get returned a value (or observed absence: `tag == None`).
+    GetOk {
+        /// Tag of the observed write; `None` for key-not-found or an
+        /// untagged (foreign) value.
+        tag: Option<Tag>,
+        /// Version returned with the value, if present.
+        version: Option<Version>,
+    },
+    /// Delete acknowledged — including "key not found", which is an
+    /// idempotent success (a retry after a lost response looks exactly
+    /// like this, so the two cannot be told apart from the client).
+    DeleteOk,
+    /// Move acknowledged at this version.
+    MoveOk {
+        /// Version after the move.
+        version: Version,
+    },
+    /// Move reported key-not-found: modelled as a no-op (the value, if
+    /// any, is untouched by a move either way).
+    MoveNoop,
+    /// The operation timed out: it *may or may not* have taken effect.
+    Maybe,
+    /// A definite error after which the operation is still treated as
+    /// "maybe happened" for writes (conservative) and unconstrained for
+    /// reads.
+    Failed(String),
+}
+
+/// One completed invocation/response pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Recorder-assigned client id (not the fabric node id).
+    pub client: u32,
+    /// Recorder-assigned op id, unique per recorder.
+    pub op: u64,
+    /// The key operated on.
+    pub key: Key,
+    /// The request.
+    pub call: Invocation,
+    /// Invocation timestamp, ns since the recorder's epoch.
+    pub invoked_ns: u64,
+    /// Response timestamp, ns since the recorder's epoch.
+    pub returned_ns: u64,
+    /// The response.
+    pub outcome: Outcome,
+}
+
+/// A completed history: every event recorded by one [`HistoryRecorder`].
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// All events, in recording order (not necessarily invocation
+    /// order — clients race to append).
+    pub events: Vec<Event>,
+}
+
+impl History {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of operations that ended in [`Outcome::Maybe`].
+    pub fn maybe_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.outcome == Outcome::Maybe)
+            .count()
+    }
+
+    /// Count of operations that ended in [`Outcome::Failed`].
+    pub fn failed_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.outcome, Outcome::Failed(_)))
+            .count()
+    }
+}
+
+/// Shared event log + id allocator for a family of [`RecordedClient`]s.
+pub struct HistoryRecorder {
+    epoch: Instant,
+    next_client: AtomicU64,
+    next_op: AtomicU64,
+    events: Mutex<Vec<Event>>,
+}
+
+impl HistoryRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Arc<HistoryRecorder> {
+        Arc::new(HistoryRecorder {
+            epoch: Instant::now(),
+            next_client: AtomicU64::new(0),
+            next_op: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Wraps a `RingClient` so its calls are recorded. `value_len` is
+    /// the byte length of every tagged value this client writes.
+    pub fn client(
+        self: &Arc<HistoryRecorder>,
+        inner: RingClient,
+        value_len: usize,
+    ) -> RecordedClient {
+        assert!(value_len >= MIN_VALUE_LEN, "values must fit a tag header");
+        RecordedClient {
+            recorder: Arc::clone(self),
+            id: self.next_client.fetch_add(1, Ordering::Relaxed) as u32,
+            value_len,
+            inner,
+        }
+    }
+
+    /// Snapshots the history recorded so far.
+    pub fn history(&self) -> History {
+        History {
+            events: self.events.lock().unwrap().clone(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn record(&self, event: Event) {
+        self.events.lock().unwrap().push(event);
+    }
+}
+
+/// A `RingClient` whose every call lands in the shared history.
+///
+/// The wrapper owns op naming: values are tagged with this client's id
+/// and a fresh op id, so two writes never carry the same bytes.
+pub struct RecordedClient {
+    recorder: Arc<HistoryRecorder>,
+    id: u32,
+    value_len: usize,
+    inner: RingClient,
+}
+
+impl RecordedClient {
+    /// The recorder-assigned client id (used in tags).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Writes a fresh tagged value to `key` in the default memgest.
+    pub fn put(&mut self, key: Key) -> Result<Version, RingError> {
+        self.put_impl(key, None)
+    }
+
+    /// Writes a fresh tagged value to `key` in a specific memgest.
+    pub fn put_to(&mut self, key: Key, memgest: MemgestId) -> Result<Version, RingError> {
+        self.put_impl(key, Some(memgest))
+    }
+
+    fn put_impl(&mut self, key: Key, memgest: Option<MemgestId>) -> Result<Version, RingError> {
+        let op = self.recorder.next_op.fetch_add(1, Ordering::Relaxed);
+        let tag = (self.id, op);
+        let value = encode_value(tag, self.value_len);
+        let invoked_ns = self.recorder.now_ns();
+        let res = match memgest {
+            Some(m) => self.inner.put_to(key, &value, m),
+            None => self.inner.put(key, &value),
+        };
+        let returned_ns = self.recorder.now_ns();
+        let outcome = match &res {
+            Ok(v) => Outcome::PutOk { version: *v },
+            Err(RingError::Timeout) => Outcome::Maybe,
+            Err(e) => Outcome::Failed(e.to_string()),
+        };
+        self.recorder.record(Event {
+            client: self.id,
+            op,
+            key,
+            call: Invocation::Put { tag, memgest },
+            invoked_ns,
+            returned_ns,
+            outcome,
+        });
+        res
+    }
+
+    /// Reads `key`, recording which write's tag was observed.
+    pub fn get(&mut self, key: Key) -> Result<Option<(Vec<u8>, Version)>, RingError> {
+        let op = self.recorder.next_op.fetch_add(1, Ordering::Relaxed);
+        let invoked_ns = self.recorder.now_ns();
+        let res = self.inner.get_versioned(key);
+        let returned_ns = self.recorder.now_ns();
+        let (outcome, mapped) = match res {
+            Ok((value, version)) => (
+                Outcome::GetOk {
+                    tag: decode_tag(&value),
+                    version: Some(version),
+                },
+                Ok(Some((value, version))),
+            ),
+            Err(RingError::KeyNotFound) => (
+                Outcome::GetOk {
+                    tag: None,
+                    version: None,
+                },
+                Ok(None),
+            ),
+            Err(RingError::Timeout) => (Outcome::Maybe, Err(RingError::Timeout)),
+            Err(e) => (Outcome::Failed(e.to_string()), Err(e)),
+        };
+        self.recorder.record(Event {
+            client: self.id,
+            op,
+            key,
+            call: Invocation::Get,
+            invoked_ns,
+            returned_ns,
+            outcome,
+        });
+        mapped
+    }
+
+    /// Deletes `key`. Key-not-found counts as success (idempotence).
+    pub fn delete(&mut self, key: Key) -> Result<(), RingError> {
+        let op = self.recorder.next_op.fetch_add(1, Ordering::Relaxed);
+        let invoked_ns = self.recorder.now_ns();
+        let res = self.inner.delete(key);
+        let returned_ns = self.recorder.now_ns();
+        let (outcome, mapped) = match res {
+            Ok(()) | Err(RingError::KeyNotFound) => (Outcome::DeleteOk, Ok(())),
+            Err(RingError::Timeout) => (Outcome::Maybe, Err(RingError::Timeout)),
+            Err(e) => (Outcome::Failed(e.to_string()), Err(e)),
+        };
+        self.recorder.record(Event {
+            client: self.id,
+            op,
+            key,
+            call: Invocation::Delete,
+            invoked_ns,
+            returned_ns,
+            outcome,
+        });
+        mapped
+    }
+
+    /// Moves `key` to memgest `dst` (value-preserving re-encode).
+    pub fn move_key(&mut self, key: Key, dst: MemgestId) -> Result<(), RingError> {
+        let op = self.recorder.next_op.fetch_add(1, Ordering::Relaxed);
+        let invoked_ns = self.recorder.now_ns();
+        let res = self.inner.move_key(key, dst);
+        let returned_ns = self.recorder.now_ns();
+        let (outcome, mapped) = match res {
+            Ok(version) => (Outcome::MoveOk { version }, Ok(())),
+            Err(RingError::KeyNotFound) => (Outcome::MoveNoop, Ok(())),
+            Err(RingError::Timeout) => (Outcome::Maybe, Err(RingError::Timeout)),
+            Err(e) => (Outcome::Failed(e.to_string()), Err(e)),
+        };
+        self.recorder.record(Event {
+            client: self.id,
+            op,
+            key,
+            call: Invocation::Move { to: dst },
+            invoked_ns,
+            returned_ns,
+            outcome,
+        });
+        mapped
+    }
+
+    /// The wrapped client, for unrecorded auxiliary calls (memgest
+    /// management, stats).
+    pub fn inner(&mut self) -> &mut RingClient {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_tags_round_trip() {
+        for (client, op, len) in [(0, 0, 16), (3, 9, 64), (u32::MAX, u64::MAX, 1024)] {
+            let v = encode_value((client, op), len);
+            assert_eq!(v.len(), len);
+            assert_eq!(decode_tag(&v), Some((client, op)));
+        }
+    }
+
+    #[test]
+    fn filler_is_deterministic_and_tag_dependent() {
+        assert_eq!(encode_value((1, 2), 100), encode_value((1, 2), 100));
+        assert_ne!(encode_value((1, 2), 100), encode_value((1, 3), 100));
+    }
+
+    #[test]
+    fn foreign_values_do_not_decode() {
+        assert_eq!(decode_tag(b"short"), None);
+        assert_eq!(decode_tag(&[0u8; 64]), None);
+        let mut v = encode_value((5, 6), 32);
+        v[0] ^= 0xFF; // Corrupt the magic.
+        assert_eq!(decode_tag(&v), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_values_rejected() {
+        let _ = encode_value((0, 0), 8);
+    }
+}

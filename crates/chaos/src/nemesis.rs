@@ -1,0 +1,528 @@
+//! Seeded fault schedules: message-level faults and coarse topology
+//! faults (partitions, crashes) derived from one `u64` seed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ring_kvs::proto::RingFabric;
+use ring_net::{FaultAction, FaultInjector, NodeId};
+
+use crate::{mix64, Digest};
+
+/// Per-message fault probabilities for a [`FaultPlan`].
+///
+/// Probabilities are cumulative-checked in the order drop, duplicate,
+/// delay; their sum must stay `<= 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageFaults {
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice (second copy delayed).
+    pub dup_prob: f64,
+    /// Probability a message is delayed by up to `max_extra_delay`
+    /// (delayed messages are overtaken by later ones: reordering).
+    pub delay_prob: f64,
+    /// Upper bound for injected extra delays.
+    pub max_extra_delay: Duration,
+}
+
+impl MessageFaults {
+    /// A gentle default mix: ~2% drops, 1% duplicates, 2% delays of up
+    /// to 200µs (≫ the RDMA-calibrated hop latency, so real reordering).
+    pub fn light() -> MessageFaults {
+        MessageFaults {
+            drop_prob: 0.02,
+            dup_prob: 0.01,
+            delay_prob: 0.02,
+            max_extra_delay: Duration::from_micros(200),
+        }
+    }
+
+    /// No message faults.
+    pub fn none() -> MessageFaults {
+        MessageFaults {
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            max_extra_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A seeded, deterministic [`FaultInjector`].
+///
+/// The fate of the `n`-th message on a directed link `(from, to)` is a
+/// pure function of `(seed, from, to, n)` — no global state couples
+/// links, so one link's traffic volume never perturbs another link's
+/// schedule. Which *real* message ends up being the `n`-th on a link
+/// still depends on thread interleaving; what is bit-identical across
+/// runs is the decision table itself (see [`FaultPlan::probe_digest`]).
+pub struct FaultPlan {
+    seed: u64,
+    faults: MessageFaults,
+    seqs: Mutex<HashMap<(NodeId, NodeId), u64>>,
+    decisions: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Creates a plan for the given seed and probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probabilities are negative or sum to more than 1.
+    pub fn new(seed: u64, faults: MessageFaults) -> FaultPlan {
+        let sum = faults.drop_prob + faults.dup_prob + faults.delay_prob;
+        assert!(
+            faults.drop_prob >= 0.0 && faults.dup_prob >= 0.0 && faults.delay_prob >= 0.0,
+            "negative fault probability"
+        );
+        assert!(sum <= 1.0, "fault probabilities sum to {sum} > 1");
+        FaultPlan {
+            seed,
+            faults,
+            seqs: Mutex::new(HashMap::new()),
+            decisions: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        }
+    }
+
+    /// The fate of the `seq`-th message on link `from -> to`: a pure
+    /// function, exposed so tests can replay decision tables.
+    pub fn decide(&self, from: NodeId, to: NodeId, seq: u64) -> FaultAction {
+        let link = (u64::from(from) << 32) | u64::from(to);
+        let h = mix64(self.seed ^ mix64(link) ^ mix64(seq));
+        // 53-bit uniform in [0, 1), same construction as rand's f64.
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let f = &self.faults;
+        if u < f.drop_prob {
+            FaultAction::Drop
+        } else if u < f.drop_prob + f.dup_prob {
+            FaultAction::Duplicate(self.extra_delay(h))
+        } else if u < f.drop_prob + f.dup_prob + f.delay_prob {
+            FaultAction::Delay(self.extra_delay(h))
+        } else {
+            FaultAction::Deliver
+        }
+    }
+
+    fn extra_delay(&self, h: u64) -> Duration {
+        let max = self.faults.max_extra_delay.as_nanos() as u64;
+        if max == 0 {
+            return Duration::ZERO;
+        }
+        // Second independent draw from the same hash; 1..=max so a
+        // "delayed" message is never delayed by zero.
+        Duration::from_nanos(1 + mix64(h) % max)
+    }
+
+    /// Digest of the decision table over a probe grid (`links x seqs`):
+    /// equal for equal seeds, different (w.h.p.) otherwise. This is the
+    /// reproducibility witness for the message-fault half of a run.
+    pub fn probe_digest(&self, nodes: u32, seqs_per_link: u64) -> u64 {
+        let mut d = Digest::new();
+        for from in 0..nodes {
+            for to in 0..nodes {
+                if from == to {
+                    continue;
+                }
+                for seq in 0..seqs_per_link {
+                    let word = match self.decide(from, to, seq) {
+                        FaultAction::Deliver => 0,
+                        FaultAction::Drop => 1,
+                        FaultAction::Delay(extra) => 2 | (extra.as_nanos() as u64) << 2,
+                        FaultAction::Duplicate(extra) => 3 | (extra.as_nanos() as u64) << 2,
+                    };
+                    d.mix(word);
+                }
+            }
+        }
+        d.value()
+    }
+
+    /// `(decided, dropped, duplicated, delayed)` counters so far.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.decisions.load(Ordering::Relaxed),
+            self.dropped.load(Ordering::Relaxed),
+            self.duplicated.load(Ordering::Relaxed),
+            self.delayed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn on_message(&self, from: NodeId, to: NodeId, _wire_bytes: usize) -> FaultAction {
+        let seq = {
+            let mut seqs = self.seqs.lock().unwrap();
+            let c = seqs.entry((from, to)).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let action = self.decide(from, to, seq);
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        match action {
+            FaultAction::Drop => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Duplicate(_) => {
+                self.duplicated.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Delay(_) => {
+                self.delayed.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Deliver => {}
+        }
+        action
+    }
+}
+
+/// How many coarse faults a nemesis run injects and how they are paced.
+///
+/// Events are strictly serialized — one fault in flight at a time, with
+/// `every` between starts and partitions healing after `partition_len`
+/// (`every > partition_len` is asserted). This keeps the run inside the
+/// paper's fault model: never more than `d` simultaneous failures per
+/// group, so a strongly-consistent history is actually achievable and a
+/// checker violation indicts the implementation, not the nemesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NemesisSpec {
+    /// Number of transient partitions to inject.
+    pub partitions: usize,
+    /// Number of node crashes to inject (clamped to the spare count:
+    /// every crash must be repairable by a promotion).
+    pub crashes: usize,
+    /// Quiet period before the first event.
+    pub start_after: Duration,
+    /// Gap between consecutive event starts.
+    pub every: Duration,
+    /// How long a partition lasts before healing.
+    pub partition_len: Duration,
+}
+
+impl NemesisSpec {
+    /// No coarse faults (message faults may still run).
+    pub fn quiet() -> NemesisSpec {
+        NemesisSpec {
+            partitions: 0,
+            crashes: 0,
+            start_after: Duration::from_millis(50),
+            every: Duration::from_millis(300),
+            partition_len: Duration::from_millis(30),
+        }
+    }
+
+    /// The acceptance mix: a few transient partitions plus crashes.
+    pub fn standard() -> NemesisSpec {
+        NemesisSpec {
+            partitions: 3,
+            crashes: 2,
+            ..NemesisSpec::quiet()
+        }
+    }
+
+    /// The seeded event timeline for a cluster with data nodes
+    /// `0..data_nodes` and `spares` spare nodes. Deterministic in
+    /// `seed`; crash targets are distinct data nodes (at most one crash
+    /// per spare), partition endpoints are distinct data-node pairs.
+    /// The leader is never a fault target — leader failover is an open
+    /// item (see ROADMAP.md).
+    pub fn timeline(&self, seed: u64, data_nodes: usize, spares: usize) -> Vec<NemesisEvent> {
+        assert!(
+            self.every > self.partition_len,
+            "events must be serialized: every <= partition_len"
+        );
+        assert!(data_nodes >= 2, "need at least two data nodes");
+        let crashes = self.crashes.min(spares);
+        // Seeded choice without rand: pick via mix64 counters.
+        let mut draw = {
+            let mut ctr = 0u64;
+            move |bound: u64| {
+                ctr += 1;
+                mix64(seed ^ mix64(ctr)) % bound
+            }
+        };
+
+        // Crash targets: distinct data nodes.
+        let mut pool: Vec<NodeId> = (0..data_nodes as NodeId).collect();
+        let mut crash_targets = Vec::new();
+        for _ in 0..crashes {
+            let i = draw(pool.len() as u64) as usize;
+            crash_targets.push(pool.swap_remove(i));
+        }
+
+        // Interleave kinds: shuffle a deck of event kinds.
+        let mut kinds: Vec<bool> = Vec::new(); // true = crash
+        kinds.extend(std::iter::repeat_n(false, self.partitions));
+        kinds.extend(std::iter::repeat_n(true, crashes));
+        for i in (1..kinds.len()).rev() {
+            kinds.swap(i, draw(i as u64 + 1) as usize);
+        }
+
+        let mut events = Vec::new();
+        let mut crash_iter = crash_targets.into_iter();
+        for (i, is_crash) in kinds.into_iter().enumerate() {
+            let at = self.start_after + self.every * i as u32;
+            if is_crash {
+                events.push(NemesisEvent::Crash {
+                    at,
+                    node: crash_iter.next().expect("one target per crash"),
+                });
+            } else {
+                let a = draw(data_nodes as u64) as NodeId;
+                let mut b = draw(data_nodes as u64 - 1) as NodeId;
+                if b >= a {
+                    b += 1;
+                }
+                events.push(NemesisEvent::Partition {
+                    at,
+                    a,
+                    b,
+                    len: self.partition_len,
+                });
+            }
+        }
+        events
+    }
+}
+
+/// One scheduled coarse fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NemesisEvent {
+    /// Cut the link `a <-> b` at `at`, heal it `len` later.
+    Partition {
+        /// Offset from nemesis start.
+        at: Duration,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Partition duration.
+        len: Duration,
+    },
+    /// Kill `node` at `at`; the leader promotes a spare into its role.
+    Crash {
+        /// Offset from nemesis start.
+        at: Duration,
+        /// The victim (a data node, never the leader).
+        node: NodeId,
+    },
+}
+
+impl NemesisEvent {
+    /// Folds the event into a schedule digest.
+    pub fn mix_into(&self, d: &mut Digest) {
+        match *self {
+            NemesisEvent::Partition { at, a, b, len } => {
+                d.mix(1);
+                d.mix(at.as_nanos() as u64);
+                d.mix(u64::from(a));
+                d.mix(u64::from(b));
+                d.mix(len.as_nanos() as u64);
+            }
+            NemesisEvent::Crash { at, node } => {
+                d.mix(2);
+                d.mix(at.as_nanos() as u64);
+                d.mix(u64::from(node));
+            }
+        }
+    }
+}
+
+/// A running nemesis: a thread executing a timeline against a fabric.
+pub struct Nemesis {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<(usize, usize)>>,
+}
+
+impl Nemesis {
+    /// Starts executing `timeline` against `fabric` on a new thread.
+    /// Partitions are healed inline after their duration; on stop or
+    /// timeline end every cut link is healed (killed nodes stay dead —
+    /// their spares have taken over).
+    pub fn start(fabric: RingFabric, timeline: Vec<NemesisEvent>) -> Nemesis {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let began = Instant::now();
+            let mut partitions = 0usize;
+            let mut crashes = 0usize;
+            'events: for ev in timeline {
+                let at = match ev {
+                    NemesisEvent::Partition { at, .. } | NemesisEvent::Crash { at, .. } => at,
+                };
+                while began.elapsed() < at {
+                    if stop2.load(Ordering::Relaxed) {
+                        break 'events;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                if stop2.load(Ordering::Relaxed) {
+                    break;
+                }
+                match ev {
+                    NemesisEvent::Partition { a, b, len, .. } => {
+                        fabric.fail_link(a, b);
+                        std::thread::sleep(len);
+                        fabric.heal_link(a, b);
+                        partitions += 1;
+                    }
+                    NemesisEvent::Crash { node, .. } => {
+                        fabric.kill(node);
+                        crashes += 1;
+                    }
+                }
+            }
+            (partitions, crashes)
+        });
+        Nemesis {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread to stop and joins it; returns
+    /// `(partitions_injected, crashes_injected)`.
+    pub fn stop(mut self) -> (usize, usize) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("stop consumes self")
+            .join()
+            .expect("nemesis thread never panics")
+    }
+}
+
+impl Drop for Nemesis {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_in_seed() {
+        let a = FaultPlan::new(7, MessageFaults::light());
+        let b = FaultPlan::new(7, MessageFaults::light());
+        for from in 0..6 {
+            for to in 0..6 {
+                for seq in 0..200 {
+                    assert_eq!(a.decide(from, to, seq), b.decide(from, to, seq));
+                }
+            }
+        }
+        assert_eq!(a.probe_digest(8, 64), b.probe_digest(8, 64));
+        let c = FaultPlan::new(8, MessageFaults::light());
+        assert_ne!(a.probe_digest(8, 64), c.probe_digest(8, 64));
+    }
+
+    #[test]
+    fn fault_rates_approach_probabilities() {
+        let plan = FaultPlan::new(42, MessageFaults::light());
+        let (mut drops, mut dups, mut delays, mut total) = (0u64, 0u64, 0u64, 0u64);
+        for seq in 0..40_000 {
+            total += 1;
+            match plan.decide(0, 1, seq) {
+                FaultAction::Drop => drops += 1,
+                FaultAction::Duplicate(e) => {
+                    assert!(e > Duration::ZERO && e <= Duration::from_micros(200));
+                    dups += 1;
+                }
+                FaultAction::Delay(e) => {
+                    assert!(e > Duration::ZERO && e <= Duration::from_micros(200));
+                    delays += 1;
+                }
+                FaultAction::Deliver => {}
+            }
+        }
+        let rate = |n: u64| n as f64 / total as f64;
+        assert!(
+            (rate(drops) - 0.02).abs() < 0.005,
+            "drop rate {}",
+            rate(drops)
+        );
+        assert!((rate(dups) - 0.01).abs() < 0.005, "dup rate {}", rate(dups));
+        assert!(
+            (rate(delays) - 0.02).abs() < 0.005,
+            "delay rate {}",
+            rate(delays)
+        );
+    }
+
+    #[test]
+    fn per_link_sequences_are_independent() {
+        // The same seq on different links must give (w.h.p.) different
+        // streams; same link same seq always matches.
+        let plan = FaultPlan::new(3, MessageFaults::light());
+        let stream = |f, t| (0..4096).map(|s| plan.decide(f, t, s)).collect::<Vec<_>>();
+        assert_eq!(stream(0, 1), stream(0, 1));
+        assert_ne!(stream(0, 1), stream(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum")]
+    fn overfull_probabilities_rejected() {
+        let _ = FaultPlan::new(
+            0,
+            MessageFaults {
+                drop_prob: 0.5,
+                dup_prob: 0.4,
+                delay_prob: 0.2,
+                max_extra_delay: Duration::ZERO,
+            },
+        );
+    }
+
+    #[test]
+    fn timeline_is_seeded_and_respects_limits() {
+        let spec = NemesisSpec {
+            partitions: 4,
+            crashes: 3,
+            start_after: Duration::from_millis(10),
+            every: Duration::from_millis(100),
+            partition_len: Duration::from_millis(20),
+        };
+        // Only 2 spares: crashes clamp to 2.
+        let t1 = spec.timeline(9, 5, 2);
+        let t2 = spec.timeline(9, 5, 2);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 6);
+        let crash_targets: Vec<NodeId> = t1
+            .iter()
+            .filter_map(|e| match e {
+                NemesisEvent::Crash { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crash_targets.len(), 2);
+        let mut uniq = crash_targets.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), crash_targets.len(), "crash targets distinct");
+        for ev in &t1 {
+            match *ev {
+                NemesisEvent::Partition { a, b, .. } => {
+                    assert_ne!(a, b);
+                    assert!(u64::from(a.max(b)) < 5);
+                }
+                NemesisEvent::Crash { node, .. } => assert!(u64::from(node) < 5),
+            }
+        }
+        let t3 = spec.timeline(10, 5, 2);
+        assert_ne!(t1, t3, "different seed, different timeline");
+    }
+}

@@ -1,0 +1,36 @@
+//! Smoke-level soak: a short seeded chaos run against a real cluster
+//! must produce a linearizable history, and its seeded schedule must be
+//! bit-identical across same-seed constructions.
+
+use ring_chaos::{run_soak, SoakConfig};
+
+#[test]
+fn quick_soak_linearizes_under_faults() {
+    let cfg = SoakConfig::quick(0xC4A05);
+    let report = run_soak(&cfg);
+    assert!(
+        report.passed(),
+        "soak failed for seed {:#x}: {:?}",
+        report.seed,
+        report.checker
+    );
+    // The nemesis actually ran.
+    assert_eq!(report.partitions, 1, "seed {:#x}", report.seed);
+    assert_eq!(report.crashes, 1, "seed {:#x}", report.seed);
+    // Message faults actually fired.
+    let (decided, dropped, _, _) = report.message_faults;
+    assert!(decided > 1000, "only {decided} fault decisions");
+    assert!(dropped > 0, "no drops in {decided} decisions");
+    // All scripted ops plus preload plus final reads are in the history.
+    let scripted: usize = cfg.clients * cfg.ops_per_client;
+    assert_eq!(report.ops, scripted + 2 * cfg.keys as usize);
+}
+
+#[test]
+fn same_seed_same_schedule() {
+    let a = SoakConfig::quick(77).schedule_digest();
+    let b = SoakConfig::quick(77).schedule_digest();
+    let c = SoakConfig::quick(78).schedule_digest();
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}

@@ -10,10 +10,28 @@ use crate::proto::{ClientReq, ClientResp, ClientTag, MetaEntry, Msg, ParitySeg};
 use crate::storage::{CoordStore, ObjectEntry, RedundantStore, Waiter};
 use crate::types::{GroupId, Key, MemgestId, ReqId, Scheme, Version};
 
-use super::{Node, OnCommit, PendingPut, StalledPut};
+use super::{Dedup, Node, OnCommit, PendingPut, StalledPut, DEDUP_CAP};
 
 impl Node {
     pub(crate) fn handle_request(&mut self, from: NodeId, req: ReqId, body: ClientReq) {
+        // At-most-once for writes: a re-delivered `(client, req)` must
+        // not execute a second time (it would assign a fresh version
+        // outside the client's linearization window). Reads are
+        // idempotent and skip the table.
+        if matches!(
+            body,
+            ClientReq::Put { .. } | ClientReq::Delete { .. } | ClientReq::Move { .. }
+        ) {
+            match self.dedup.get(&(from, req)) {
+                Some(Dedup::Done(resp)) => {
+                    let body = resp.clone();
+                    let _ = self.ep.send(from, Msg::Response { req, body });
+                    return;
+                }
+                Some(Dedup::InFlight) => return,
+                None => {}
+            }
+        }
         // Management requests belong to the leader; a data node that
         // receives one (e.g. through a client multicast) ignores it.
         match body {
@@ -58,7 +76,32 @@ impl Node {
         (gs.shard == Some(shard)).then_some(g)
     }
 
-    fn respond(&self, to: NodeId, req: ReqId, body: ClientResp) {
+    /// Opens an at-most-once window for `(from, req)`: until
+    /// [`Node::respond`] settles it, re-deliveries of the same request
+    /// are dropped instead of re-executed. Called only once the node has
+    /// committed to answering (it owns the key and is not recovering) —
+    /// silently ignored requests leave no trace, so the right node's
+    /// execution is unaffected.
+    fn dedup_open(&mut self, from: NodeId, req: ReqId) {
+        self.dedup.insert((from, req), Dedup::InFlight);
+    }
+
+    /// Sends a client response, settling the request's at-most-once
+    /// window if one is open. The response is cached — errors included:
+    /// the execution linearized somewhere inside the client's still-open
+    /// window, so every later delivery of the same `(client, req)`
+    /// (duplicate or client retry after a lost response) must observe
+    /// that same answer rather than execute again.
+    fn respond(&mut self, to: NodeId, req: ReqId, body: ClientResp) {
+        if let Some(slot) = self.dedup.get_mut(&(to, req)) {
+            *slot = Dedup::Done(body.clone());
+            self.dedup_order.push_back((to, req));
+            if self.dedup_order.len() > DEDUP_CAP {
+                if let Some(old) = self.dedup_order.pop_front() {
+                    self.dedup.remove(&old);
+                }
+            }
+        }
         let _ = self.ep.send(to, Msg::Response { req, body });
     }
 
@@ -75,6 +118,7 @@ impl Node {
         let Some(g) = self.owned_group(key) else {
             return; // Not ours: stay silent, the right node will answer.
         };
+        self.dedup_open(from, req);
         let mid = memgest.unwrap_or(self.default_memgest);
         if !self.catalog.contains_key(&mid) {
             self.respond(from, req, ClientResp::Error(RingError::UnknownMemgest(mid)));
@@ -509,6 +553,7 @@ impl Node {
         let Some(g) = self.owned_group(key) else {
             return;
         };
+        self.dedup_open(from, req);
         let gs = self.groups.get_mut(&g).expect("owned group");
         let Some((version, mid)) = gs.volatile.highest(key) else {
             self.respond(from, req, ClientResp::Error(RingError::KeyNotFound));
@@ -545,6 +590,7 @@ impl Node {
         let Some(g) = self.owned_group(key) else {
             return;
         };
+        self.dedup_open(from, req);
         if !self.catalog.contains_key(&dst) {
             self.respond(from, req, ClientResp::Error(RingError::UnknownMemgest(dst)));
             return;

@@ -11,16 +11,16 @@ mod coord;
 mod recovery;
 mod redundant;
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use ring_net::NodeId;
 
 use crate::config::{ClusterConfig, Role, LEADER_NODE};
-use crate::proto::{ClientTag, Msg, RingEndpoint};
+use crate::proto::{ClientResp, ClientTag, Msg, RingEndpoint};
 use crate::storage::{data_mr_key, parity_mr_key, VolatileTable};
 use crate::storage::{CoordMemgest, CoordStore, Heap, RedundantMemgest, RedundantStore};
-use crate::types::{GroupId, Key, MemgestDescriptor, MemgestId, Scheme, Version};
+use crate::types::{GroupId, Key, MemgestDescriptor, MemgestId, ReqId, Scheme, Version};
 
 /// Tunables of a node.
 #[derive(Debug, Clone)]
@@ -69,6 +69,30 @@ impl Default for NodeOptions {
         }
     }
 }
+
+/// At-most-once bookkeeping for one client write request (RIFL-style).
+///
+/// The paper's RDMA RC transport delivers each request exactly once, so
+/// the real system never sees a request twice. The simulated fabric —
+/// and any chaos injector layered on it — may duplicate or re-deliver a
+/// client `Request`, and re-executing a write after its response was
+/// already delivered assigns a fresh version *outside* the client's
+/// linearization window (e.g. resurrecting an overwritten value). The
+/// coordinator therefore deduplicates by `(client, req)`.
+#[derive(Debug, Clone)]
+pub(crate) enum Dedup {
+    /// Executing (possibly parked or awaiting acks); re-deliveries are
+    /// dropped — the eventual response answers every copy.
+    InFlight,
+    /// Answered; re-deliveries get the cached response resent.
+    Done(ClientResp),
+}
+
+/// Completed [`Dedup`] entries retained per node before the oldest are
+/// pruned. A duplicate is delayed by at most a few hundred microseconds,
+/// while 64k completions take seconds — pruned entries cannot see a
+/// late duplicate.
+pub(crate) const DEDUP_CAP: usize = 64 * 1024;
 
 /// What to do when a write-ahead entry commits.
 // The `Reply` prefix is deliberate: each variant names the client call
@@ -175,6 +199,10 @@ pub struct Node {
     pub(crate) default_memgest: MemgestId,
     pub(crate) groups: HashMap<GroupId, GroupState>,
     pub(crate) pending: HashMap<PendingKey, PendingPut>,
+    /// At-most-once table for client writes, keyed by `(client, req)`.
+    pub(crate) dedup: HashMap<(NodeId, ReqId), Dedup>,
+    /// Completion order of settled dedup entries, for pruning.
+    pub(crate) dedup_order: VecDeque<(NodeId, ReqId)>,
     /// Outstanding metadata fetches while assuming a new role; requests
     /// are ignored until this drains (clients retry).
     pub(crate) recovering: usize,
@@ -202,6 +230,8 @@ impl Node {
             default_memgest: opts.default_memgest,
             groups: HashMap::new(),
             pending: HashMap::new(),
+            dedup: HashMap::new(),
+            dedup_order: VecDeque::new(),
             recovering: 0,
             rebuilds: HashMap::new(),
             fetches: HashMap::new(),

@@ -1,0 +1,133 @@
+//! At-most-once contract for client writes (RIFL-style dedup).
+//!
+//! The paper's RC transport delivers each request exactly once; the
+//! simulated fabric (and the chaos injector) can duplicate or
+//! re-deliver. A re-delivered write must NOT execute a second time —
+//! that would assign a fresh version outside the client's linearization
+//! window (e.g. a late duplicate delete tombstoning a newer put). The
+//! coordinator instead resends the cached response.
+
+use std::time::Duration;
+
+use ring_kvs::proto::{ClientReq, ClientResp, Msg, RingEndpoint};
+use ring_kvs::types::ReqId;
+use ring_kvs::{Cluster, ClusterSpec, CLIENT_BASE};
+use ring_net::LatencyModel;
+
+fn fast_spec() -> ClusterSpec {
+    ClusterSpec {
+        latency: LatencyModel::instant(),
+        ..ClusterSpec::paper_evaluation()
+    }
+}
+
+/// Waits for the response to `req`, ignoring anything else.
+fn response_for(ep: &RingEndpoint, want: ReqId) -> ClientResp {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while std::time::Instant::now() < deadline {
+        if let Ok((_, Msg::Response { req, body })) = ep.recv_timeout(Duration::from_millis(50)) {
+            if req == want {
+                return body;
+            }
+        }
+    }
+    panic!("no response for req {want}");
+}
+
+#[test]
+fn duplicated_write_requests_execute_at_most_once() {
+    let cluster = Cluster::start(fast_spec());
+    let raw = cluster.fabric().register(CLIENT_BASE + 999).unwrap();
+    let key = 42u64;
+    let coord = cluster.coordinator_of(key);
+    let put = |req: ReqId, value: &[u8]| Msg::Request {
+        req,
+        body: ClientReq::Put {
+            key,
+            value: value.to_vec(),
+            memgest: Some(2), // REP3
+        },
+    };
+
+    // First put executes and gets version 1.
+    raw.send(coord, put(1, b"original")).unwrap();
+    assert_eq!(response_for(&raw, 1), ClientResp::PutOk { version: 1 });
+
+    // A re-delivered copy of the same request is answered from the
+    // dedup cache: same version, no re-execution.
+    raw.send(coord, put(1, b"original")).unwrap();
+    assert_eq!(response_for(&raw, 1), ClientResp::PutOk { version: 1 });
+
+    // A genuinely new put sees version 2 — proof the duplicate above
+    // did not burn a version.
+    raw.send(coord, put(2, b"newer")).unwrap();
+    assert_eq!(response_for(&raw, 2), ClientResp::PutOk { version: 2 });
+
+    // A very late duplicate of the first put still replays the cached
+    // answer instead of resurrecting "original" at version 3.
+    raw.send(coord, put(1, b"original")).unwrap();
+    assert_eq!(response_for(&raw, 1), ClientResp::PutOk { version: 1 });
+    let mut client = cluster.client();
+    assert_eq!(client.get(key).unwrap(), b"newer");
+
+    cluster.shutdown();
+}
+
+#[test]
+fn duplicated_delete_cannot_tombstone_a_newer_put() {
+    let cluster = Cluster::start(fast_spec());
+    let raw = cluster.fabric().register(CLIENT_BASE + 998).unwrap();
+    let key = 77u64;
+    let coord = cluster.coordinator_of(key);
+
+    raw.send(
+        coord,
+        Msg::Request {
+            req: 1,
+            body: ClientReq::Put {
+                key,
+                value: b"v1".to_vec(),
+                memgest: Some(2),
+            },
+        },
+    )
+    .unwrap();
+    assert_eq!(response_for(&raw, 1), ClientResp::PutOk { version: 1 });
+
+    let delete = Msg::Request {
+        req: 2,
+        body: ClientReq::Delete { key },
+    };
+    raw.send(coord, delete.clone()).unwrap();
+    assert_eq!(response_for(&raw, 2), ClientResp::DeleteOk);
+
+    // The key is rewritten...
+    raw.send(
+        coord,
+        Msg::Request {
+            req: 3,
+            body: ClientReq::Put {
+                key,
+                value: b"v2".to_vec(),
+                memgest: Some(2),
+            },
+        },
+    )
+    .unwrap();
+    let v2 = match response_for(&raw, 3) {
+        ClientResp::PutOk { version } => version,
+        other => panic!("unexpected {other:?}"),
+    };
+
+    // ...and a late duplicate of the delete arrives. Without dedup it
+    // would tombstone the new value; with it, the cached DeleteOk is
+    // replayed and the value survives.
+    raw.send(coord, delete).unwrap();
+    assert_eq!(response_for(&raw, 2), ClientResp::DeleteOk);
+    let mut client = cluster.client();
+    let (value, version) = client.get_versioned(key).unwrap();
+    assert_eq!(value, b"v2");
+    assert_eq!(version, v2);
+
+    cluster.shutdown();
+}

@@ -4,6 +4,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::fabric::{FabricInner, NodeSlot};
+use crate::fault::FaultAction;
 use crate::latency::spin_wait;
 use crate::{MemoryRegion, MrKey, NetError, NetStats, NodeId, WireSize};
 
@@ -38,50 +39,6 @@ impl<M: Send + WireSize> Endpoint<M> {
     /// This endpoint's traffic counters.
     pub fn stats(&self) -> &NetStats {
         &self.slot.stats
-    }
-
-    /// Posts a message to `to`. Fire-and-forget: like a real network,
-    /// delivery to a dead node silently fails and the sender must use
-    /// timeouts. Sending over a cut link also drops the message.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetError::Unreachable`] only if the target was *never*
-    /// registered (a configuration error rather than a runtime failure),
-    /// and [`NetError::Closed`] if this endpoint itself was killed.
-    pub fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
-        if self.slot.mailbox.is_closed() {
-            return Err(NetError::Closed);
-        }
-        let bytes = msg.wire_size();
-        self.slot.stats.record_send(bytes);
-        if !self.fabric.link_up(self.id, to) {
-            return Ok(()); // Dropped on the floor.
-        }
-        match self.fabric.slot(to) {
-            Some(slot) => {
-                let deliver_at = Instant::now() + self.fabric.latency.delay(bytes);
-                slot.mailbox.push(self.id, msg, deliver_at);
-                Ok(())
-            }
-            None => Ok(()), // Dead node: dropped.
-        }
-    }
-
-    /// Sends the same message to several nodes (the paper's client-side
-    /// multicast re-send path). The message must be `Clone`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`NetError::Closed`] if this endpoint was killed.
-    pub fn multicast(&self, to: &[NodeId], msg: M) -> Result<(), NetError>
-    where
-        M: Clone,
-    {
-        for &t in to {
-            self.send(t, msg.clone())?;
-        }
-        Ok(())
     }
 
     /// Blocks until a message arrives.
@@ -222,6 +179,62 @@ impl<M: Send + WireSize> Endpoint<M> {
         spin_wait(self.fabric.latency.round_trip(bytes.len()));
         region.write(offset, bytes)?;
         self.slot.stats.record_rdma_write(bytes.len());
+        Ok(())
+    }
+}
+
+impl<M: Send + WireSize + Clone> Endpoint<M> {
+    /// Posts a message to `to`. Fire-and-forget: like a real network,
+    /// delivery to a dead node silently fails and the sender must use
+    /// timeouts. Sending over a cut link also drops the message. An
+    /// installed [`crate::FaultInjector`] may additionally drop, delay,
+    /// or duplicate the message (duplication is why `M: Clone`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Unreachable`] only if the target was *never*
+    /// registered (a configuration error rather than a runtime failure),
+    /// and [`NetError::Closed`] if this endpoint itself was killed.
+    pub fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
+        if self.slot.mailbox.is_closed() {
+            return Err(NetError::Closed);
+        }
+        let bytes = msg.wire_size();
+        self.slot.stats.record_send(bytes);
+        if !self.fabric.link_up(self.id, to) {
+            return Ok(()); // Dropped on the floor.
+        }
+        let Some(slot) = self.fabric.slot(to) else {
+            return Ok(()); // Dead node: dropped.
+        };
+        let action = match self.fabric.injector.read().as_ref() {
+            Some(injector) => injector.on_message(self.id, to, bytes),
+            None => FaultAction::Deliver,
+        };
+        let wire = self.fabric.latency.delay(bytes);
+        let now = Instant::now();
+        match action {
+            FaultAction::Deliver => slot.mailbox.push(self.id, msg, now + wire),
+            FaultAction::Drop => {}
+            FaultAction::Delay(extra) => slot.mailbox.push(self.id, msg, now + wire + extra),
+            FaultAction::Duplicate(extra) => {
+                slot.mailbox.push(self.id, msg.clone(), now + wire);
+                slot.mailbox.push(self.id, msg, now + wire + extra);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends the same message to several nodes (the paper's client-side
+    /// multicast re-send path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Closed`] if this endpoint was killed.
+    pub fn multicast(&self, to: &[NodeId], msg: M) -> Result<(), NetError> {
+        for &t in to {
+            self.send(t, msg.clone())?;
+        }
         Ok(())
     }
 }

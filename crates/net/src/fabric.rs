@@ -7,6 +7,7 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 use crate::endpoint::Endpoint;
+use crate::fault::FaultInjector;
 use crate::mailbox::Mailbox;
 use crate::{LatencyModel, MemoryRegion, MrKey, NetError, NetStats, NodeId, WireSize};
 
@@ -20,6 +21,7 @@ pub(crate) struct FabricInner<M> {
     pub(crate) latency: LatencyModel,
     pub(crate) nodes: RwLock<HashMap<NodeId, Arc<NodeSlot<M>>>>,
     pub(crate) down_links: RwLock<HashSet<(NodeId, NodeId)>>,
+    pub(crate) injector: RwLock<Option<Arc<dyn FaultInjector>>>,
 }
 
 impl<M> FabricInner<M> {
@@ -56,6 +58,7 @@ impl<M: Send + WireSize> Fabric<M> {
                 latency,
                 nodes: RwLock::new(HashMap::new()),
                 down_links: RwLock::new(HashSet::new()),
+                injector: RwLock::new(None),
             }),
         }
     }
@@ -108,6 +111,20 @@ impl<M: Send + WireSize> Fabric<M> {
             .get(&id)
             .map(|s| !s.mailbox.is_closed())
             .unwrap_or(false)
+    }
+
+    /// Installs a message-level [`FaultInjector`], replacing any
+    /// previous one. It is consulted on every [`Endpoint::send`] /
+    /// [`Endpoint::multicast`] over an up link to a live node; one-sided
+    /// RDMA verbs and [`Fabric::inject`] bypass it.
+    pub fn set_fault_injector(&self, injector: Arc<dyn FaultInjector>) {
+        *self.inner.injector.write() = Some(injector);
+    }
+
+    /// Removes the installed [`FaultInjector`]; delivery returns to
+    /// fault-free behaviour.
+    pub fn clear_fault_injector(&self) {
+        *self.inner.injector.write() = None;
     }
 
     /// Cuts the (bidirectional) link between two nodes: messages are
@@ -224,6 +241,47 @@ mod tests {
         let mut live = f.live_nodes();
         live.sort_unstable();
         assert_eq!(live, vec![0, 2]);
+    }
+
+    #[test]
+    fn fault_injector_drop_delay_duplicate() {
+        use crate::fault::{FaultAction, FaultInjector};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Cycles Drop, Duplicate, Delay, Deliver per message.
+        struct Script(AtomicUsize);
+        impl FaultInjector for Script {
+            fn on_message(&self, _f: NodeId, _t: NodeId, _b: usize) -> FaultAction {
+                match self.0.fetch_add(1, Ordering::Relaxed) {
+                    0 => FaultAction::Drop,
+                    1 => FaultAction::Duplicate(Duration::from_micros(50)),
+                    2 => FaultAction::Delay(Duration::from_micros(50)),
+                    _ => FaultAction::Deliver,
+                }
+            }
+        }
+
+        let f: Fabric<u32> = Fabric::new(LatencyModel::instant());
+        let a = f.register(0).unwrap();
+        let b = f.register(1).unwrap();
+        f.set_fault_injector(Arc::new(Script(AtomicUsize::new(0))));
+
+        a.send(1, 10).unwrap(); // Dropped.
+        a.send(1, 11).unwrap(); // Duplicated.
+        a.send(1, 12).unwrap(); // Delayed 50µs: arrives after 11's dup.
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(b.recv_timeout(Duration::from_secs(1)).unwrap().1);
+        }
+        assert_eq!(got, vec![11, 11, 12]); // 11, its dup, then delayed 12.
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            NetError::Timeout
+        );
+
+        f.clear_fault_injector();
+        a.send(1, 13).unwrap(); // Back to normal delivery.
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), (0, 13));
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! Pluggable message-level fault injection on the delivery path.
+//!
+//! A [`FaultInjector`] installed on a [`crate::Fabric`] is consulted for
+//! every two-sided message a live endpoint sends over an up link, and
+//! decides the message's fate: deliver it normally, drop it, delay it by
+//! an extra amount (delayed messages overtake later ones, so reordering
+//! falls out of delaying), or deliver it twice. Node crashes and
+//! partitions are *not* expressed here — [`crate::Fabric::kill`] and
+//! [`crate::Fabric::fail_link`] already model those; an injector handles
+//! the per-message faults that coarse topology changes cannot.
+//!
+//! Injectors must be deterministic functions of their own state and the
+//! `(from, to, wire_bytes)` arguments if runs are to be reproducible —
+//! the seeded `FaultPlan` in `ring-chaos` is the canonical
+//! implementation.
+
+use std::time::Duration;
+
+use crate::NodeId;
+
+/// The fate of one message, decided by a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally, after the fabric's modelled latency.
+    Deliver,
+    /// Silently drop the message (the sender still counts it as sent).
+    Drop,
+    /// Deliver after the modelled latency *plus* this extra delay.
+    /// Messages sent later can arrive earlier: this is how reordering
+    /// is injected.
+    Delay(Duration),
+    /// Deliver one copy normally and a second copy after this extra
+    /// delay — a retransmission race, as seen by the receiver.
+    Duplicate(Duration),
+}
+
+/// A fault policy consulted on every message send.
+///
+/// Implementations are shared across all sending threads and must be
+/// `Send + Sync`; any internal state (per-link sequence counters, a
+/// seeded schedule) must be interior-mutable.
+pub trait FaultInjector: Send + Sync {
+    /// Decides the fate of one message of `wire_bytes` bytes going from
+    /// `from` to `to`.
+    fn on_message(&self, from: NodeId, to: NodeId, wire_bytes: usize) -> FaultAction;
+}
+
+/// Injector that delivers everything (the absence of faults).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn on_message(&self, _from: NodeId, _to: NodeId, _wire_bytes: usize) -> FaultAction {
+        FaultAction::Deliver
+    }
+}

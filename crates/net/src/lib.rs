@@ -27,7 +27,7 @@
 //! ```
 //! use ring_net::{Fabric, LatencyModel, WireSize};
 //!
-//! #[derive(Debug, PartialEq)]
+//! #[derive(Debug, Clone, PartialEq)]
 //! struct Ping(u64);
 //! impl WireSize for Ping {
 //!     fn wire_size(&self) -> usize { 8 }
@@ -44,6 +44,7 @@
 mod endpoint;
 mod error;
 mod fabric;
+mod fault;
 mod latency;
 mod mailbox;
 mod memory;
@@ -52,6 +53,7 @@ mod stats;
 pub use endpoint::Endpoint;
 pub use error::NetError;
 pub use fabric::Fabric;
+pub use fault::{FaultAction, FaultInjector, NoFaults};
 pub use latency::{spin_wait, LatencyModel};
 pub use memory::{MemoryRegion, MrKey};
 pub use stats::{NetStats, NetStatsSnapshot};

@@ -1,0 +1,243 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the benchmark-harness subset its `[[bench]]` targets use
+//! (`harness = false` binaries): [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / `bench_with_input`,
+//! [`BenchmarkId`], [`Throughput`], and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical
+//! machinery it runs a fixed warm-up then a measured loop and prints
+//! mean time per iteration (and MiB/s when a throughput is set) — good
+//! enough to eyeball regressions, not a statistics suite.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the timed loop.
+pub struct Bencher {
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    mean: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for ~10% of the measurement window.
+        let warm_until = Instant::now() + self.measure / 10;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let stop_at = start + self.measure;
+        let mut iters: u64 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            // Check the clock every few iterations to keep overhead low.
+            if iters.is_multiple_of(16) && Instant::now() >= stop_at {
+                break;
+            }
+        }
+        self.mean = start.elapsed() / u32::try_from(iters.max(1)).unwrap_or(u32::MAX);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs a benchmark taking an input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mean: Duration::ZERO,
+            measure: self.criterion.measure,
+        };
+        f(&mut bencher, input);
+        self.report(&id.label, bencher.mean);
+    }
+
+    /// Runs a benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mean: Duration::ZERO,
+            measure: self.criterion.measure,
+        };
+        f(&mut bencher);
+        self.report(&id.label, bencher.mean);
+    }
+
+    /// Ends the group (printing is per-benchmark; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, mean: Duration) {
+        let per_iter = mean.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+                format!("  {:>10.1} MiB/s", b as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>10.0} elem/s", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{label:<28} {:>12.3} µs/iter{rate}",
+            self.name,
+            per_iter * 1e6
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Short window: CI runs these as smoke benchmarks, not studies.
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Criterion {
+            measure: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: "bench".into(),
+            throughput: None,
+        };
+        group.bench_function(id, f);
+    }
+}
+
+/// Bundles benchmark functions under one name for [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_test");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("add", 8), &8u64, |b, &n| {
+            b.iter(|| black_box(n) + 1);
+        });
+        group.bench_function("mul", |b| b.iter(|| black_box(3u64) * 7));
+        group.finish();
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("CRITERION_MEASURE_MS", "5");
+        benches();
+    }
+}

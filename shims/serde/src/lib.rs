@@ -1,0 +1,230 @@
+//! Offline stand-in for `serde` (serialization only).
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of serde it uses: a [`Serialize`] trait that
+//! writes compact JSON directly (consumed by the `serde_json` shim's
+//! `to_string_pretty`), implementations for the primitive and container
+//! types the repo serializes, and re-exported `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` macros from the `serde_derive` shim.
+//! Deserialization into typed values is intentionally absent — all
+//! reads in the workspace go through `serde_json::Value`.
+
+// Lets the `::serde::...` paths emitted by the derive macros resolve
+// when the derives are used inside this crate's own tests.
+extern crate self as serde;
+
+// The derive macros live in the macro namespace, the trait below in the
+// type namespace; `use serde::Serialize` imports both under one name,
+// exactly like real serde.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can render itself as compact JSON.
+pub trait Serialize {
+    /// Appends this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Writes `s` as a JSON string literal (with escaping) into `out`.
+/// Public because the derive-generated code calls it.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+    )*};
+}
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Formats an integer without allocating (all workspace ints fit i128).
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+impl Serialize for u128 {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if !self.is_finite() {
+            // JSON has no NaN/Inf; serde_json errors here, we degrade to null.
+            out.push_str("null");
+        } else if self.fract() == 0.0 && self.abs() < 1e15 {
+            // Match serde_json's "1.0" (not "1") for whole floats.
+            out.push_str(&format!("{self:.1}"));
+        } else {
+            out.push_str(&format!("{self}"));
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Serialize;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(42u64), "42");
+        assert_eq!(json(-7i32), "-7");
+        assert_eq!(json(true), "true");
+        assert_eq!(json(1.0f64), "1.0");
+        assert_eq!(json(1.5f64), "1.5");
+        assert_eq!(json(f64::NAN), "null");
+        assert_eq!(json("a\"b\n"), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(json(Vec::<u32>::new()), "[]");
+        assert_eq!(json(Some("x")), "\"x\"");
+        assert_eq!(json(Option::<u32>::None), "null");
+    }
+
+    #[test]
+    fn derive_struct_and_enum() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            count: u64,
+            ratio: f64,
+            nested: Inner,
+        }
+        #[derive(Serialize)]
+        struct Inner {
+            flag: bool,
+        }
+        #[derive(Serialize)]
+        enum Kind {
+            Hot,
+            Cold,
+        }
+        let row = Row {
+            name: "x".into(),
+            count: 3,
+            ratio: 0.5,
+            nested: Inner { flag: true },
+        };
+        assert_eq!(
+            json(&row),
+            "{\"name\":\"x\",\"count\":3,\"ratio\":0.5,\"nested\":{\"flag\":true}}"
+        );
+        assert_eq!(json(Kind::Hot), "\"Hot\"");
+        assert_eq!(json(Kind::Cold), "\"Cold\"");
+    }
+
+    #[test]
+    fn derive_deserialize_is_accepted() {
+        #[derive(super::Deserialize)]
+        #[allow(dead_code)]
+        struct Ignored {
+            a: u32,
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io (so no `syn`/
+//! `quote` either); this crate hand-parses the item's `TokenStream` to
+//! extract just what the workspace derives need: structs with named
+//! fields and enums with unit variants. `#[derive(Serialize)]` emits an
+//! `impl serde::Serialize` writing compact JSON; `#[derive(Deserialize)]`
+//! expands to nothing (the workspace only ever deserializes through
+//! `serde_json::Value`, never into derived types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (compact-JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match item.kind {
+        ItemKind::Struct { fields } => emit_struct(&item.name, &fields),
+        ItemKind::Enum { variants } => emit_enum(&item.name, &variants),
+    };
+    code.parse().expect("derived impl parses")
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing: no code in
+/// this workspace deserializes into derived types (see crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum ItemKind {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<String> },
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let mut is_enum = None;
+
+    // Skip attributes / visibility until the `struct` / `enum` keyword.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            match id.to_string().as_str() {
+                "struct" => {
+                    is_enum = Some(false);
+                    break;
+                }
+                "enum" => {
+                    is_enum = Some(true);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let is_enum = is_enum.expect("derive target is a struct or enum");
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+
+    // No generic derive targets exist in this workspace; fail loudly
+    // rather than emit a broken impl if one appears.
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+
+    let body = tokens
+        .find_map(|tt| match tt {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                panic!("serde shim derive does not support tuple/unit structs ({name})")
+            }
+            _ => None,
+        })
+        .expect("item has a braced body");
+
+    let kind = if is_enum {
+        ItemKind::Enum {
+            variants: parse_unit_variants(body, &name),
+        }
+    } else {
+        ItemKind::Struct {
+            fields: parse_named_fields(body, &name),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Extracts field names from `field: Type, ...` (attributes, `pub`, and
+/// generic argument lists in types are skipped; commas nested in `<>`
+/// do not terminate a field).
+fn parse_named_fields(body: TokenStream, name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip `#[...]` attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next(); // the bracketed attribute group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next(); // `pub(crate)` etc.
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            panic!("serde shim derive: unexpected token in fields of {name}: {tt:?}")
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field in {name}, got {other:?}"),
+        }
+        // Skip the type up to a top-level comma.
+        let mut angle = 0i32;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names, rejecting any variant carrying data.
+fn parse_unit_variants(body: TokenStream, name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(tt) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            panic!("serde shim derive: unexpected token in enum {name}: {tt:?}")
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!(
+                "serde shim derive: only unit variants are supported in {name}, got {other:?}"
+            ),
+        }
+    }
+    variants
+}
+
+fn emit_struct(name: &str, fields: &[String]) -> String {
+    let mut body = String::from("out.push('{');\n");
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            body.push_str("out.push(',');\n");
+        }
+        body.push_str(&format!(
+            "::serde::write_json_string(out, \"{field}\");\nout.push(':');\n\
+             ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    body.push_str("out.push('}');");
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+}
+
+fn emit_enum(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+         let label = match self {{\n{arms}}};\n\
+         ::serde::write_json_string(out, label);\n}}\n}}"
+    )
+}

@@ -1,0 +1,476 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of serde_json it uses: [`to_string`] /
+//! [`to_string_pretty`] over the `serde` shim's `Serialize` (2-space
+//! indentation, matching upstream's pretty format), a [`Value`] tree
+//! with the accessors the report generator calls, and [`from_str`]
+//! parsing JSON text into a [`Value`].
+
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; the workspace's numbers are
+    /// well inside the exactly-representable integer range).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup on objects; `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative whole number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is a whole number in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n)
+                if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool if it is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The backing vector if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    /// `value["key"]`; yields `Null` for missing keys or non-objects
+    /// (matching serde_json).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    /// `value[i]`; yields `Null` out of bounds or on non-arrays.
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Parse or serialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, Error> {
+    Err(Error {
+        message: message.into(),
+    })
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty JSON with 2-space indentation (the
+/// upstream serde_json pretty format).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Reformats machine-generated compact JSON with 2-space indentation.
+fn prettify(compact: &str) -> String {
+    let bytes = compact.as_bytes();
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut i = 0;
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                let close = if c == '{' { b'}' } else { b']' };
+                if i + 1 < bytes.len() && bytes[i + 1] == close {
+                    out.push(c);
+                    out.push(close as char);
+                    i += 2;
+                    continue;
+                }
+                out.push(c);
+                depth += 1;
+                indent(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                indent(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            _ => out.push(c),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parses JSON text into a [`Value`].
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            err(format!("expected `{lit}` at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => err(format!("unexpected `{}` at byte {}", b as char, self.pos)),
+            None => err("unexpected end of input"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error {
+                                    message: "bad \\u escape".into(),
+                                })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| Error {
+                                message: "bad \\u escape".into(),
+                            })?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // workspace's writers; map lone surrogates
+                            // to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return err(format!("bad escape `\\{}`", other as char));
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..]).map_err(|_| Error {
+                        message: "invalid UTF-8 in string".into(),
+                    })?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Value::Number(n)),
+            Err(_) => err(format!("bad number `{text}`")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_matches_serde_json_format() {
+        assert_eq!(
+            to_string_pretty(&vec![1, 2, 3]).unwrap(),
+            "[\n  1,\n  2,\n  3\n]"
+        );
+        #[derive(serde::Serialize)]
+        struct Row {
+            a: u32,
+            b: Vec<u32>,
+        }
+        assert_eq!(
+            to_string_pretty(&Row { a: 1, b: vec![] }).unwrap(),
+            "{\n  \"a\": 1,\n  \"b\": []\n}"
+        );
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let text = r#"[{"scheme":"REP3","median_us":12.5,"n":3,"ok":true,"note":null,"samples":[{"x":1}]}]"#;
+        let v = from_str(text).unwrap();
+        let rows = v.as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.get("scheme").and_then(Value::as_str), Some("REP3"));
+        assert_eq!(r.get("median_us").and_then(Value::as_f64), Some(12.5));
+        assert_eq!(r["n"].as_u64(), Some(3));
+        assert_eq!(r["ok"].as_bool(), Some(true));
+        assert_eq!(r["note"], Value::Null);
+        assert_eq!(r["samples"][0]["x"].as_u64(), Some(1));
+        assert_eq!(r["missing"], Value::Null);
+    }
+
+    #[test]
+    fn parse_escapes_and_ws() {
+        let v = from_str(" { \"a\\n\" : \"x\\u0041\" } ").unwrap();
+        assert_eq!(v.get("a\n").and_then(Value::as_str), Some("xA"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("tru").is_err());
+        assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn pretty_then_parse() {
+        let pretty = to_string_pretty(&vec![vec![1u32, 2], vec![]]).unwrap();
+        let v = from_str(&pretty).unwrap();
+        assert_eq!(v[0][1].as_u64(), Some(2));
+        assert_eq!(v[1].as_array().unwrap().len(), 0);
+    }
+}
