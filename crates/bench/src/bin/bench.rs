@@ -1,0 +1,249 @@
+//! Performance baseline harness: GF kernel throughput plus end-to-end
+//! put/get latency and pipelined put throughput per scheme.
+//!
+//! Writes `BENCH_ring.json` at the repo root (committed, so regressions
+//! are visible in review) and can audit a fresh run against a committed
+//! baseline:
+//!
+//! ```text
+//! bench [--smoke] [--out <path>] [--check <path>]
+//! ```
+//!
+//! - `--smoke`: few iterations; numbers are noisy but the file is
+//!   produced quickly (the CI smoke job).
+//! - `--out <path>`: where to write the JSON (default
+//!   `<repo>/BENCH_ring.json`).
+//! - `--check <path>`: compare this run's GF kernel throughput against
+//!   a previously committed baseline file; exits non-zero if any kernel
+//!   regressed by more than 3x (a guard against accidentally reverting
+//!   to byte-at-a-time loops, loose enough for shared-runner noise).
+
+use std::time::{Duration, Instant};
+
+use ring_bench::measure::{get_latency, put_latency};
+use ring_bench::output::results_dir;
+use ring_bench::workbench::{memgest_id, paper_cluster};
+use ring_gf::{region, Gf256};
+use serde::Serialize;
+
+/// Maximum tolerated slowdown vs the committed baseline before
+/// `--check` fails the run.
+const MAX_REGRESSION: f64 = 3.0;
+
+#[derive(Serialize)]
+struct GfRow {
+    op: &'static str,
+    len: usize,
+    mbps: f64,
+}
+
+#[derive(Serialize)]
+struct E2eRow {
+    scheme: String,
+    value_len: usize,
+    put_p50_us: f64,
+    get_p50_us: f64,
+    /// Single pipelined client, window 64, closed loop.
+    put_throughput_rps: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: u32,
+    /// Master seed of the benchmark cluster (echoed for replayability).
+    seed: u64,
+    smoke: bool,
+    gf: Vec<GfRow>,
+    e2e: Vec<E2eRow>,
+}
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// MB/s of `f` run repeatedly over `len`-byte regions for ~`budget`.
+fn gf_mbps(len: usize, budget: Duration, mut f: impl FnMut(&mut [u8], &[u8])) -> f64 {
+    let src = vec![0x5Au8; len];
+    let mut dst = vec![0xA5u8; len];
+    // Warm up, then time whole passes until the budget is spent.
+    f(&mut dst, &src);
+    let t0 = Instant::now();
+    let mut bytes = 0u64;
+    while t0.elapsed() < budget {
+        for _ in 0..8 {
+            f(&mut dst, &src);
+            bytes += len as u64;
+        }
+    }
+    bytes as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+fn run_gf(smoke: bool) -> Vec<GfRow> {
+    let budget = if smoke {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(200)
+    };
+    let c = Gf256(0x53);
+    let mut rows = Vec::new();
+    // 64 B sits at the SWAR threshold; 4 KiB and 64 KiB are firmly in
+    // word-wide territory (parity blocks, recovery transfers).
+    for len in [64usize, 4096, 65536] {
+        rows.push(GfRow {
+            op: "xor_into",
+            len,
+            mbps: gf_mbps(len, budget, region::xor_into),
+        });
+        rows.push(GfRow {
+            op: "mul_acc",
+            len,
+            mbps: gf_mbps(len, budget, |d, s| region::mul_acc(d, s, c)),
+        });
+        rows.push(GfRow {
+            op: "mul_into",
+            len,
+            mbps: gf_mbps(len, budget, |d, s| region::mul_into(d, s, c)),
+        });
+        rows.push(GfRow {
+            op: "mul_in_place",
+            len,
+            mbps: gf_mbps(len, budget, |d, _| region::mul_in_place(d, c)),
+        });
+    }
+    rows
+}
+
+fn run_e2e(smoke: bool) -> (u64, Vec<E2eRow>) {
+    let reps = if smoke { 40 } else { 400 };
+    let throughput_budget = if smoke {
+        Duration::from_millis(150)
+    } else {
+        Duration::from_millis(1000)
+    };
+    let value_len = 1024usize;
+    let cluster = paper_cluster();
+    let seed = 0x52_49_4E_47; // ClusterSpec::default().seed ("RING").
+    let mut rows = Vec::new();
+    for scheme in ["REP1", "REP3", "SRS32"] {
+        let memgest = memgest_id(scheme);
+        let mut client = cluster.client();
+        let key_base = u64::from(memgest) * 1_000_000;
+        let put = put_latency(&mut client, memgest, value_len, reps, key_base);
+        let keys: Vec<u64> = (0..reps as u64).map(|i| key_base + i).collect();
+        let get = get_latency(&mut client, &keys, reps);
+
+        // Closed-loop pipelined put throughput: one client, window 64.
+        client.set_window(64);
+        client.set_timeout(Duration::from_secs(2));
+        let mut key = key_base + 10_000_000;
+        let t0 = Instant::now();
+        let mut done = 0u64;
+        let value = vec![0xCDu8; value_len];
+        while t0.elapsed() < throughput_budget {
+            client
+                .put_nb(key, &value, Some(memgest))
+                .expect("pipelined put");
+            key += 1;
+            done += client.poll().len() as u64;
+        }
+        done += client.drain().len() as u64;
+        let rps = done as f64 / t0.elapsed().as_secs_f64();
+
+        println!(
+            "{scheme:>6}  put p50 {:8.1}us  get p50 {:8.1}us  pipelined put {:9.0} req/s",
+            put.median_us, get.median_us, rps
+        );
+        rows.push(E2eRow {
+            scheme: scheme.to_string(),
+            value_len,
+            put_p50_us: put.median_us,
+            get_p50_us: get.median_us,
+            put_throughput_rps: rps,
+        });
+    }
+    cluster.shutdown();
+    (seed, rows)
+}
+
+/// Compares GF throughput against a baseline report, returning the
+/// regressions worse than [`MAX_REGRESSION`].
+fn check_against(baseline: &serde_json::Value, current: &[GfRow]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let Some(rows) = baseline.get("gf").and_then(|g| g.as_array()) else {
+        return vec!["baseline file has no `gf` section".to_string()];
+    };
+    for row in rows {
+        let (Some(op), Some(len), Some(base_mbps)) = (
+            row.get("op").and_then(|v| v.as_str()),
+            row.get("len").and_then(|v| v.as_u64()),
+            row.get("mbps").and_then(|v| v.as_f64()),
+        ) else {
+            continue;
+        };
+        let Some(cur) = current.iter().find(|r| r.op == op && r.len == len as usize) else {
+            problems.push(format!("kernel {op}/{len} missing from this run"));
+            continue;
+        };
+        if base_mbps > 0.0 && cur.mbps * MAX_REGRESSION < base_mbps {
+            problems.push(format!(
+                "{op}/{len}: {:.0} MB/s vs baseline {:.0} MB/s (> {MAX_REGRESSION}x regression)",
+                cur.mbps, base_mbps
+            ));
+        }
+    }
+    problems
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let out = arg_value("--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            results_dir()
+                .parent()
+                .map(|p| p.join("BENCH_ring.json"))
+                .expect("repo root")
+        });
+
+    println!(
+        "GF kernel throughput ({}):",
+        if smoke { "smoke" } else { "full" }
+    );
+    let gf = run_gf(smoke);
+    for r in &gf {
+        println!("  {:>12} len {:>6}: {:9.0} MB/s", r.op, r.len, r.mbps);
+    }
+    let (seed, e2e) = run_e2e(smoke);
+
+    let report = Report {
+        schema: 1,
+        seed,
+        smoke,
+        gf,
+        e2e,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json + "\n").expect("write BENCH_ring.json");
+    println!("wrote {}", out.display());
+
+    if let Some(path) = arg_value("--check") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline: serde_json::Value =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad baseline JSON: {e}"));
+        let problems = check_against(&baseline, &report.gf);
+        if problems.is_empty() {
+            println!("check vs {path}: ok");
+        } else {
+            eprintln!("GF kernel regression check failed:");
+            for p in &problems {
+                eprintln!("  {p}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -110,8 +110,10 @@ pub struct ThroughputSample {
 /// joins, each offering `offered_per_client` requests/second, up to
 /// `max_clients`; completions are counted per interval.
 ///
-/// Matches the Figure 9 methodology with the absolute rate scaled to
-/// the simulated fabric.
+/// Each client drives the pipelined (`put_nb`/`poll`) API with a deep
+/// window, so offered requests ride the fabric concurrently instead of
+/// one at a time. Matches the Figure 9 methodology with the absolute
+/// rate scaled to the simulated fabric.
 pub fn ramp_throughput(
     cluster: &Cluster,
     memgest: u32,
@@ -137,19 +139,22 @@ pub fn ramp_throughput(
         let value = vec![0x42u8; value_size];
         let key_base = joined as u64 * 10_000_000;
         handles.push(std::thread::spawn(move || {
-            // Sleep-paced open loop: send the requests that became due,
-            // drain completions, then yield the CPU — client threads
-            // must not starve the single-threaded servers.
+            // Sleep-paced open loop over the pipelined client: send the
+            // requests that became due, drain completions, then yield
+            // the CPU — client threads must not starve the
+            // single-threaded servers. The failover timeout is raised so
+            // queueing under overload is measured as latency, not
+            // amplified into retry traffic.
             let gap = Duration::from_secs_f64(1.0 / offered_per_client);
             let cap = 256usize;
+            client.set_window(cap);
+            client.set_timeout(Duration::from_secs(2));
             let mut next = Instant::now();
             let mut key = key_base;
-            let mut inflight = 0usize;
             while !stop_c.load(Ordering::Relaxed) {
                 let now = Instant::now();
-                while next <= now && inflight < cap {
-                    if client.put_async(key, &value, Some(memgest)).is_ok() {
-                        inflight += 1;
+                while next <= now && client.in_flight() < cap {
+                    if client.put_nb(key, &value, Some(memgest)).is_ok() {
                         key += 1;
                     }
                     next += gap;
@@ -157,8 +162,7 @@ pub fn ramp_throughput(
                 if now > next + Duration::from_millis(50) {
                     next = now; // Don't accumulate unbounded debt.
                 }
-                let done = client.poll_responses().len();
-                inflight = inflight.saturating_sub(done);
+                let done = client.poll().len();
                 done_c.fetch_add(done as u64, Ordering::Relaxed);
                 std::thread::sleep(Duration::from_micros(500));
             }
@@ -186,7 +190,8 @@ pub fn ramp_throughput(
 
 /// Closed-loop throughput with a bounded pipeline: issues YCSB ops from
 /// the generator for `duration`, keeping up to `window` requests in
-/// flight, and returns completed requests/second.
+/// flight on the pipelined client, and returns completed
+/// requests/second.
 pub fn mixed_throughput(
     cluster: &Cluster,
     memgest: u32,
@@ -204,37 +209,31 @@ pub fn mixed_throughput(
             .expect("preload put");
     }
 
+    client.set_window(window);
     let t0 = Instant::now();
-    let mut inflight = 0usize;
     let mut done = 0u64;
     while t0.elapsed() < duration {
-        while inflight < window {
+        while client.in_flight() < window {
             let op = gen.next_op();
             let ok = match op {
-                ring_workload::Op::Get { key } => client.get_async(key).is_ok(),
+                ring_workload::Op::Get { key } => client.get_nb(key).is_ok(),
                 ring_workload::Op::Put { key, .. } => {
-                    client.put_async(key, &value, Some(memgest)).is_ok()
+                    client.put_nb(key, &value, Some(memgest)).is_ok()
                 }
             };
-            if ok {
-                inflight += 1;
+            if !ok {
+                break;
             }
         }
-        let completed = client.poll_responses().len();
+        let completed = client.poll().len();
         done += completed as u64;
-        inflight = inflight.saturating_sub(completed);
         if completed == 0 {
             // Let the server threads run (the host may have few cores).
             std::thread::sleep(Duration::from_micros(200));
         }
     }
-    // Drain the tail.
-    let drain_end = Instant::now() + Duration::from_millis(200);
-    while inflight > 0 && Instant::now() < drain_end {
-        let completed = client.poll_responses().len();
-        done += completed as u64;
-        inflight = inflight.saturating_sub(completed);
-    }
+    // Drain the tail (retries bound how long a straggler can take).
+    done += client.drain().len() as u64;
     done as f64 / t0.elapsed().as_secs_f64()
 }
 

@@ -5,11 +5,12 @@
 //! which write it observed — the precondition for register-style
 //! linearizability checking without value bookkeeping on the server.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ring_kvs::{Key, MemgestId, RingClient, RingError, Version};
+use ring_kvs::{ClientResp, Key, MemgestId, ReqId, RingClient, RingError, Version};
 
 use crate::mix64;
 
@@ -199,6 +200,7 @@ impl HistoryRecorder {
             id: self.next_client.fetch_add(1, Ordering::Relaxed) as u32,
             value_len,
             inner,
+            pending: HashMap::new(),
         }
     }
 
@@ -227,6 +229,17 @@ pub struct RecordedClient {
     id: u32,
     value_len: usize,
     inner: RingClient,
+    /// Pipelined requests submitted but not yet completed, by fabric
+    /// request id.
+    pending: HashMap<ReqId, Pending>,
+}
+
+/// Bookkeeping for one outstanding pipelined request.
+struct Pending {
+    op: u64,
+    key: Key,
+    call: Invocation,
+    invoked_ns: u64,
 }
 
 impl RecordedClient {
@@ -353,6 +366,178 @@ impl RecordedClient {
             outcome,
         });
         mapped
+    }
+
+    // ---- Pipelined (windowed) recording API ----
+    //
+    // Each `*_nb` call records the invocation immediately and parks a
+    // `Pending` entry; the matching response event is recorded when the
+    // completion surfaces in [`Self::poll_ops`] / [`Self::drain_ops`].
+    // The invocation..response window therefore spans the whole time the
+    // request was in flight — exactly what the linearizability checker
+    // needs for overlapping ops from one client.
+
+    /// Sets the in-flight window of the wrapped pipelined client.
+    pub fn set_window(&mut self, window: usize) {
+        self.inner.set_window(window);
+    }
+
+    /// Pipelined tagged put into a memgest. May block while the window
+    /// is full (completions gathered meanwhile surface via
+    /// [`Self::poll_ops`]).
+    pub fn put_nb(&mut self, key: Key, memgest: MemgestId) {
+        let op = self.recorder.next_op.fetch_add(1, Ordering::Relaxed);
+        let tag = (self.id, op);
+        let value = encode_value(tag, self.value_len);
+        let call = Invocation::Put {
+            tag,
+            memgest: Some(memgest),
+        };
+        let invoked_ns = self.recorder.now_ns();
+        match self.inner.put_nb(key, &value, Some(memgest)) {
+            Ok(req) => self.park(req, op, key, call, invoked_ns),
+            Err(e) => self.record_submit_error(op, key, call, invoked_ns, e),
+        }
+    }
+
+    /// Pipelined get.
+    pub fn get_nb(&mut self, key: Key) {
+        let op = self.recorder.next_op.fetch_add(1, Ordering::Relaxed);
+        let invoked_ns = self.recorder.now_ns();
+        match self.inner.get_nb(key) {
+            Ok(req) => self.park(req, op, key, Invocation::Get, invoked_ns),
+            Err(e) => self.record_submit_error(op, key, Invocation::Get, invoked_ns, e),
+        }
+    }
+
+    /// Pipelined delete.
+    pub fn delete_nb(&mut self, key: Key) {
+        let op = self.recorder.next_op.fetch_add(1, Ordering::Relaxed);
+        let invoked_ns = self.recorder.now_ns();
+        match self.inner.delete_nb(key) {
+            Ok(req) => self.park(req, op, key, Invocation::Delete, invoked_ns),
+            Err(e) => self.record_submit_error(op, key, Invocation::Delete, invoked_ns, e),
+        }
+    }
+
+    /// Pipelined move.
+    pub fn move_nb(&mut self, key: Key, dst: MemgestId) {
+        let op = self.recorder.next_op.fetch_add(1, Ordering::Relaxed);
+        let call = Invocation::Move { to: dst };
+        let invoked_ns = self.recorder.now_ns();
+        match self.inner.move_nb(key, dst) {
+            Ok(req) => self.park(req, op, key, call, invoked_ns),
+            Err(e) => self.record_submit_error(op, key, call, invoked_ns, e),
+        }
+    }
+
+    /// Records completions that have already arrived, without blocking.
+    /// Returns how many events were recorded.
+    pub fn poll_ops(&mut self) -> usize {
+        let completions = self.inner.poll();
+        let n = completions.len();
+        for (req, res) in completions {
+            self.record_completion(req, res);
+        }
+        n
+    }
+
+    /// Blocks until every outstanding pipelined request completes,
+    /// recording each. Returns how many events were recorded.
+    pub fn drain_ops(&mut self) -> usize {
+        let completions = self.inner.drain();
+        let n = completions.len();
+        for (req, res) in completions {
+            self.record_completion(req, res);
+        }
+        n
+    }
+
+    fn park(&mut self, req: ReqId, op: u64, key: Key, call: Invocation, invoked_ns: u64) {
+        self.pending.insert(
+            req,
+            Pending {
+                op,
+                key,
+                call,
+                invoked_ns,
+            },
+        );
+    }
+
+    /// A request that could not even be submitted: never on the wire, so
+    /// a timeout-flavoured error still conservatively counts as Maybe.
+    fn record_submit_error(
+        &mut self,
+        op: u64,
+        key: Key,
+        call: Invocation,
+        invoked_ns: u64,
+        err: RingError,
+    ) {
+        let outcome = match err {
+            RingError::Timeout => Outcome::Maybe,
+            e => Outcome::Failed(e.to_string()),
+        };
+        let returned_ns = self.recorder.now_ns();
+        self.recorder.record(Event {
+            client: self.id,
+            op,
+            key,
+            call,
+            invoked_ns,
+            returned_ns,
+            outcome,
+        });
+    }
+
+    fn record_completion(&mut self, req: ReqId, res: Result<ClientResp, RingError>) {
+        let Some(p) = self.pending.remove(&req) else {
+            return; // Completion for an unrecorded (auxiliary) request.
+        };
+        let returned_ns = self.recorder.now_ns();
+        // Unexpected-but-successful response shapes map to a hard error,
+        // mirroring the sync wrappers.
+        let err_of = |resp: ClientResp| -> RingError {
+            match resp {
+                ClientResp::Error(e) => e,
+                other => RingError::Internal(format!("unexpected response {other:?}")),
+            }
+        };
+        let outcome = match (&p.call, res) {
+            (_, Err(RingError::Timeout)) => Outcome::Maybe,
+            (_, Err(e)) => Outcome::Failed(e.to_string()),
+            (Invocation::Put { .. }, Ok(ClientResp::PutOk { version })) => {
+                Outcome::PutOk { version }
+            }
+            (Invocation::Get, Ok(ClientResp::GetOk { value, version })) => Outcome::GetOk {
+                tag: decode_tag(&value),
+                version: Some(version),
+            },
+            (Invocation::Delete, Ok(ClientResp::DeleteOk)) => Outcome::DeleteOk,
+            (Invocation::Move { .. }, Ok(ClientResp::MoveOk { version })) => {
+                Outcome::MoveOk { version }
+            }
+            (call, Ok(other)) => match (call, err_of(other)) {
+                (Invocation::Get, RingError::KeyNotFound) => Outcome::GetOk {
+                    tag: None,
+                    version: None,
+                },
+                (Invocation::Delete, RingError::KeyNotFound) => Outcome::DeleteOk,
+                (Invocation::Move { .. }, RingError::KeyNotFound) => Outcome::MoveNoop,
+                (_, RingError::Timeout) => Outcome::Maybe,
+                (_, e) => Outcome::Failed(e.to_string()),
+            },
+        };
+        self.recorder.record(Event {
+            client: self.id,
+            op: p.op,
+            key: p.key,
+            call: p.call,
+            invoked_ns: p.invoked_ns,
+            returned_ns,
+            outcome,
+        });
     }
 
     /// The wrapped client, for unrecorded auxiliary calls (memgest

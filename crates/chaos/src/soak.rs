@@ -22,6 +22,11 @@ use crate::history::HistoryRecorder;
 use crate::nemesis::{FaultPlan, MessageFaults, Nemesis, NemesisSpec};
 use crate::Digest;
 
+/// In-flight pipeline depth of each scripted soak client. Deep enough
+/// to exercise out-of-order completion and duplicate-delivery races,
+/// shallow enough that per-key contention stays realistic.
+const SOAK_WINDOW: usize = 4;
+
 /// One scripted client operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScriptOp {
@@ -293,24 +298,23 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     std::thread::scope(|scope| {
         for (mut rc, script) in clients.drain(..).zip(scripts.iter()) {
             scope.spawn(move || {
+                // Pipelined workload driver: each client keeps up to
+                // SOAK_WINDOW scripted ops in flight. Errors and
+                // timeouts are part of the history; the checker, not
+                // the workload, judges them. Retries inside the client
+                // are idempotent (coordinator dedup), so pipelining
+                // keeps at-most-once semantics even under faults.
+                rc.set_window(SOAK_WINDOW);
                 for op in script {
-                    // Errors and timeouts are part of the history; the
-                    // checker, not the workload, judges them.
                     match *op {
-                        ScriptOp::Put { key, memgest } => {
-                            let _ = rc.put_to(key, memgest);
-                        }
-                        ScriptOp::Get { key } => {
-                            let _ = rc.get(key);
-                        }
-                        ScriptOp::Delete { key } => {
-                            let _ = rc.delete(key);
-                        }
-                        ScriptOp::Move { key, memgest } => {
-                            let _ = rc.move_key(key, memgest);
-                        }
+                        ScriptOp::Put { key, memgest } => rc.put_nb(key, memgest),
+                        ScriptOp::Get { key } => rc.get_nb(key),
+                        ScriptOp::Delete { key } => rc.delete_nb(key),
+                        ScriptOp::Move { key, memgest } => rc.move_nb(key, memgest),
                     }
+                    rc.poll_ops();
                 }
+                rc.drain_ops();
             });
         }
     });

@@ -1,9 +1,24 @@
 //! The Ring client library: the paper's API (Section 5) over the
 //! fabric, with timeout-and-multicast failover (Section 5.5).
+//!
+//! Two request styles share one failover engine:
+//!
+//! - **Synchronous** ([`RingClient::put`], [`RingClient::get`], …): one
+//!   request in flight, the call blocks until its response (or the
+//!   attempt budget is exhausted).
+//! - **Pipelined** ([`RingClient::put_nb`], [`RingClient::get_nb`] +
+//!   [`RingClient::poll`] / [`RingClient::drain`]): up to
+//!   [`ClientOptions::window`] requests in flight, each with the same
+//!   per-request timeout and multicast failover as the sync path.
+//!   Pipelining writes is safe because the coordinator's RIFL-style
+//!   dedup table makes re-delivered `(client, req)` pairs idempotent —
+//!   a retry can never commit a second version.
 
+use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
-use ring_net::NodeId;
+use ring_net::{NodeId, Payload};
 
 use crate::config::{ClusterConfig, LEADER_NODE};
 use crate::error::RingError;
@@ -18,6 +33,9 @@ pub struct ClientOptions {
     /// Attempts before giving up (the first is unicast; subsequent
     /// attempts multicast to every active node).
     pub attempts: u32,
+    /// Maximum in-flight requests for the pipelined (`*_nb`) API. The
+    /// sync API always uses an effective window of one.
+    pub window: usize,
 }
 
 impl Default for ClientOptions {
@@ -25,11 +43,28 @@ impl Default for ClientOptions {
         ClientOptions {
             timeout: Duration::from_millis(100),
             attempts: 10,
+            window: 32,
         }
     }
 }
 
-/// A synchronous Ring client.
+/// One outstanding pipelined request.
+struct InFlight {
+    /// The key, when coordinator learning applies.
+    key: Option<Key>,
+    /// The request body, kept for retries (value bytes are Arc-backed,
+    /// so this is a cheap handle, not a copy).
+    body: ClientReq,
+    /// Current attempt's response deadline.
+    deadline: Instant,
+    /// Attempts used so far.
+    attempt: u32,
+}
+
+/// The result of one completed pipelined request.
+pub type Completion = (ReqId, Result<ClientResp, RingError>);
+
+/// A Ring client.
 ///
 /// Clients map keys to coordinators with the shared `h(key) mod s`
 /// mapping (no name node, no extra hop). After a node failure the cached
@@ -42,17 +77,40 @@ pub struct RingClient {
     overrides: std::collections::HashMap<(GroupId, usize), NodeId>,
     next_req: ReqId,
     opts: ClientOptions,
+    /// All data nodes plus spares — the multicast failover target set,
+    /// built once instead of per attempt.
+    all_nodes: Vec<NodeId>,
+    /// Outstanding pipelined requests by id.
+    inflight: HashMap<ReqId, InFlight>,
+    /// Completed pipelined requests not yet handed to the caller.
+    completed: VecDeque<Completion>,
+    /// Lower bound on the earliest in-flight deadline: `retry_expired`
+    /// is a no-op before this instant, so the O(window) expiry scan
+    /// runs only when something can actually have expired. May be stale
+    /// (too early) after completions — the scan then just finds nothing
+    /// and tightens it.
+    next_deadline: Option<Instant>,
 }
 
 impl RingClient {
     /// Creates a client from its own endpoint and the bootstrap config.
     pub fn new(ep: RingEndpoint, config: ClusterConfig, opts: ClientOptions) -> RingClient {
+        let all_nodes: Vec<NodeId> = config
+            .nodes
+            .iter()
+            .chain(config.spares.iter())
+            .copied()
+            .collect();
         RingClient {
             ep,
             config,
             overrides: std::collections::HashMap::new(),
             next_req: 1,
             opts,
+            all_nodes,
+            inflight: HashMap::new(),
+            completed: VecDeque::new(),
+            next_deadline: None,
         }
     }
 
@@ -67,12 +125,171 @@ impl RingClient {
         self.opts.timeout = timeout;
     }
 
+    /// Changes the pipelined-API window.
+    pub fn set_window(&mut self, window: usize) {
+        self.opts.window = window.max(1);
+    }
+
+    /// Number of pipelined requests currently outstanding.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
     fn coordinator_for(&self, key: Key) -> NodeId {
         let loc = self.config.locate(key);
         self.overrides
             .get(&loc)
             .copied()
             .unwrap_or_else(|| self.config.coordinator_of_key(key))
+    }
+
+    // ---- Shared request engine ----
+
+    /// Registers and unicasts a request; failover happens in [`Self::pump`].
+    fn submit(
+        &mut self,
+        target: NodeId,
+        key: Option<Key>,
+        body: ClientReq,
+    ) -> Result<ReqId, RingError> {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.ep.send(
+            target,
+            Msg::Request {
+                req,
+                body: body.clone(),
+            },
+        )?;
+        let deadline = Instant::now() + self.opts.timeout;
+        self.next_deadline = Some(match self.next_deadline {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        });
+        self.inflight.insert(
+            req,
+            InFlight {
+                key,
+                body,
+                deadline,
+                attempt: 1,
+            },
+        );
+        Ok(req)
+    }
+
+    /// Learns (or forgets) a coordinator override from a response.
+    fn learn(&mut self, key: Option<Key>, from: NodeId) {
+        if let Some(key) = key {
+            let loc = self.config.locate(key);
+            if self.config.coordinator_of_key(key) != from {
+                self.overrides.insert(loc, from);
+            } else {
+                self.overrides.remove(&loc);
+            }
+        }
+    }
+
+    /// Drains due responses, retries expired requests (multicast
+    /// failover), and appends completions. With `wait`, blocks up to
+    /// that long for the first response when nothing is immediately due.
+    fn pump(&mut self, wait: Option<Duration>) {
+        // Fast path: drain whatever is already deliverable.
+        while let Ok(Some((from, msg))) = self.ep.try_recv() {
+            self.absorb(from, msg);
+        }
+        if let Some(wait) = wait {
+            if self.completed.is_empty() && !self.inflight.is_empty() {
+                // Nothing done yet: block until mail, the earliest
+                // retry deadline, or the caller's budget.
+                let now = Instant::now();
+                let until = match self.next_deadline {
+                    Some(d) => (now + wait).min(d),
+                    None => now + wait,
+                };
+                if until > now {
+                    if let Ok((from, msg)) = self.ep.recv_timeout(until - now) {
+                        self.absorb(from, msg);
+                        while let Ok(Some((from, msg))) = self.ep.try_recv() {
+                            self.absorb(from, msg);
+                        }
+                    }
+                }
+            }
+        }
+        self.retry_expired();
+    }
+
+    /// Routes one incoming message into the in-flight table.
+    fn absorb(&mut self, from: NodeId, msg: Msg) {
+        if let Msg::Response { req, body } = msg {
+            if let Some(f) = self.inflight.remove(&req) {
+                self.learn(f.key, from);
+                self.completed.push_back((req, Ok(body)));
+            }
+            // Responses to forgotten requests (duplicates, late answers
+            // after a timeout completion) are dropped.
+        }
+    }
+
+    /// Multicasts expired requests to every node (the answering node is
+    /// learned as the new coordinator), failing those out of attempts.
+    fn retry_expired(&mut self) {
+        if self.inflight.is_empty() {
+            self.next_deadline = None;
+            return;
+        }
+        let now = Instant::now();
+        // Fast path: nothing can have expired yet.
+        if let Some(d) = self.next_deadline {
+            if now < d {
+                return;
+            }
+        }
+        let expired: Vec<ReqId> = self
+            .inflight
+            .iter()
+            .filter(|(_, f)| now >= f.deadline)
+            .map(|(&r, _)| r)
+            .collect();
+        for req in expired {
+            let f = self.inflight.get_mut(&req).expect("just listed");
+            if f.attempt >= self.opts.attempts {
+                self.inflight.remove(&req);
+                self.completed.push_back((req, Err(RingError::Timeout)));
+                continue;
+            }
+            f.attempt += 1;
+            f.deadline = now + self.opts.timeout;
+            let body = f.body.clone();
+            // Re-send through multicast; only the responsible node will
+            // answer (Section 5.5). Spares are included — one of them
+            // may have been promoted to the failed role.
+            if let Err(e) = self
+                .ep
+                .multicast(&self.all_nodes, Msg::Request { req, body })
+            {
+                self.inflight.remove(&req);
+                self.completed.push_back((req, Err(e.into())));
+            }
+        }
+        self.next_deadline = self.inflight.values().map(|f| f.deadline).min();
+    }
+
+    /// Blocks until `req` completes, pumping the engine. Completions of
+    /// other (pipelined) requests accumulate for a later [`Self::poll`].
+    fn wait_for(&mut self, req: ReqId) -> Result<ClientResp, RingError> {
+        loop {
+            if let Some(pos) = self.completed.iter().position(|(r, _)| *r == req) {
+                return self.completed.remove(pos).expect("position valid").1;
+            }
+            if !self.inflight.contains_key(&req) {
+                // Completed and consumed elsewhere — cannot happen via
+                // public API; treat as a lost request.
+                return Err(RingError::Timeout);
+            }
+            self.pump(Some(self.opts.timeout));
+        }
     }
 
     /// Issues one request and awaits its response, failing over to
@@ -83,61 +300,8 @@ impl RingClient {
         key: Option<Key>,
         body: ClientReq,
     ) -> Result<ClientResp, RingError> {
-        let req = self.next_req;
-        self.next_req += 1;
-        for attempt in 0..self.opts.attempts {
-            if attempt == 0 {
-                self.ep.send(
-                    target,
-                    Msg::Request {
-                        req,
-                        body: body.clone(),
-                    },
-                )?;
-            } else {
-                // Re-send through multicast; only the responsible node
-                // will answer (Section 5.5). Spares are included — one
-                // of them may have been promoted to the failed role.
-                let nodes: Vec<NodeId> = self
-                    .config
-                    .nodes
-                    .iter()
-                    .chain(self.config.spares.iter())
-                    .copied()
-                    .collect();
-                self.ep.multicast(
-                    &nodes,
-                    Msg::Request {
-                        req,
-                        body: body.clone(),
-                    },
-                )?;
-            }
-            let deadline = Instant::now() + self.opts.timeout;
-            loop {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                match self.ep.recv_timeout(deadline - now) {
-                    Ok((from, Msg::Response { req: r, body })) if r == req => {
-                        if let Some(key) = key {
-                            let loc = self.config.locate(key);
-                            if self.config.coordinator_of_key(key) != from {
-                                self.overrides.insert(loc, from);
-                            } else {
-                                self.overrides.remove(&loc);
-                            }
-                        }
-                        return Ok(body);
-                    }
-                    Ok(_) => continue, // Stale response to an older attempt.
-                    Err(ring_net::NetError::Timeout) => break,
-                    Err(e) => return Err(e.into()),
-                }
-            }
-        }
-        Err(RingError::Timeout)
+        let req = self.submit(target, key, body)?;
+        self.wait_for(req)
     }
 
     fn keyed(&mut self, key: Key, body: ClientReq) -> Result<ClientResp, RingError> {
@@ -151,6 +315,8 @@ impl RingClient {
             other => RingError::Internal(format!("unexpected response {other:?}")),
         }
     }
+
+    // ---- Synchronous API ----
 
     /// `put(key, object)` into the default memgest.
     pub fn put(&mut self, key: Key, value: &[u8]) -> Result<Version, RingError> {
@@ -177,7 +343,7 @@ impl RingClient {
             key,
             ClientReq::Put {
                 key,
-                value: value.to_vec(),
+                value: Payload::from(value),
                 memgest,
             },
         )? {
@@ -194,7 +360,7 @@ impl RingClient {
     /// `get(key)` returning the version as well.
     pub fn get_versioned(&mut self, key: Key) -> Result<(Vec<u8>, Version), RingError> {
         match self.keyed(key, ClientReq::Get { key })? {
-            ClientResp::GetOk { value, version } => Ok((value, version)),
+            ClientResp::GetOk { value, version } => Ok((value.to_vec(), version)),
             other => Err(Self::expect_error(other)),
         }
     }
@@ -247,9 +413,84 @@ impl RingClient {
         }
     }
 
-    /// Fire-and-forget put: sends the request without waiting for the
-    /// response (used by the open-loop throughput harness). Returns the
-    /// request id; responses are drained with [`RingClient::poll_responses`].
+    // ---- Pipelined (windowed non-blocking) API ----
+
+    /// Pipelined `put`: registers the request and returns its id without
+    /// waiting for the response. If the window is full, blocks until a
+    /// slot frees (completions accumulate for [`Self::poll`]). Retries
+    /// and multicast failover run inside [`Self::poll`] / [`Self::drain`];
+    /// coordinator dedup makes those retries idempotent, so pipelined
+    /// puts keep at-most-once semantics.
+    pub fn put_nb(
+        &mut self,
+        key: Key,
+        value: &[u8],
+        memgest: Option<MemgestId>,
+    ) -> Result<ReqId, RingError> {
+        self.await_window()?;
+        let target = self.coordinator_for(key);
+        self.submit(
+            target,
+            Some(key),
+            ClientReq::Put {
+                key,
+                value: Payload::from(value),
+                memgest,
+            },
+        )
+    }
+
+    /// Pipelined `get`. Same windowing contract as [`Self::put_nb`].
+    pub fn get_nb(&mut self, key: Key) -> Result<ReqId, RingError> {
+        self.await_window()?;
+        let target = self.coordinator_for(key);
+        self.submit(target, Some(key), ClientReq::Get { key })
+    }
+
+    /// Pipelined `delete`. Same windowing contract as [`Self::put_nb`].
+    pub fn delete_nb(&mut self, key: Key) -> Result<ReqId, RingError> {
+        self.await_window()?;
+        let target = self.coordinator_for(key);
+        self.submit(target, Some(key), ClientReq::Delete { key })
+    }
+
+    /// Pipelined `move`. Same windowing contract as [`Self::put_nb`].
+    pub fn move_nb(&mut self, key: Key, dst: MemgestId) -> Result<ReqId, RingError> {
+        self.await_window()?;
+        let target = self.coordinator_for(key);
+        self.submit(target, Some(key), ClientReq::Move { key, dst })
+    }
+
+    /// Blocks while the window is full, pumping completions.
+    fn await_window(&mut self) -> Result<(), RingError> {
+        while self.inflight.len() >= self.opts.window.max(1) {
+            self.pump(Some(self.opts.timeout));
+        }
+        Ok(())
+    }
+
+    /// Collects finished pipelined requests without blocking: drains due
+    /// responses, runs timeout/failover retries, and returns every
+    /// completion gathered so far.
+    pub fn poll(&mut self) -> Vec<Completion> {
+        self.pump(None);
+        self.completed.drain(..).collect()
+    }
+
+    /// Blocks until every in-flight pipelined request completes (with a
+    /// response or a final timeout error) and returns all completions.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        while !self.inflight.is_empty() {
+            self.pump(Some(self.opts.timeout));
+        }
+        self.completed.drain(..).collect()
+    }
+
+    // ---- Fire-and-forget API (no failover; open-loop harnesses) ----
+
+    /// Fire-and-forget put: sends the request without tracking it (used
+    /// by open-loop measurements that want no retry traffic). Responses
+    /// are drained with [`RingClient::poll_responses`].
     pub fn put_async(
         &mut self,
         key: Key,
@@ -265,7 +506,7 @@ impl RingClient {
                 req,
                 body: ClientReq::Put {
                     key,
-                    value: value.to_vec(),
+                    value: Payload::from(value),
                     memgest,
                 },
             },
@@ -304,7 +545,8 @@ impl RingClient {
     }
 
     /// Drains every response currently queued, returning the completed
-    /// request ids (open-loop harness).
+    /// request ids (fire-and-forget harness). Do not mix with the
+    /// pipelined API on the same client — this bypasses its tracking.
     pub fn poll_responses(&mut self) -> Vec<(ReqId, ClientResp)> {
         let mut out = Vec::new();
         while let Ok(Some((_, msg))) = self.ep.try_recv() {

@@ -54,10 +54,11 @@ pub mod stats;
 pub mod storage;
 pub mod types;
 
-pub use client::{ClientOptions, RingClient};
+pub use client::{ClientOptions, Completion, RingClient};
 pub use cluster::{Cluster, ClusterSpec};
 pub use config::{ClusterConfig, Role, CLIENT_BASE, LEADER_NODE};
 pub use error::RingError;
 pub use node::{Node, NodeOptions};
+pub use proto::ClientResp;
 pub use stats::NodeStats;
-pub use types::{Key, MemgestDescriptor, MemgestId, Scheme, Version};
+pub use types::{Key, MemgestDescriptor, MemgestId, ReqId, Scheme, Version};

@@ -2,7 +2,7 @@
 //! write-ahead, versioning, commit and garbage collection
 //! (Sections 5.1–5.3).
 
-use ring_net::NodeId;
+use ring_net::{NodeId, Payload};
 
 use crate::config::LEADER_NODE;
 use crate::error::RingError;
@@ -112,7 +112,7 @@ impl Node {
         from: NodeId,
         req: ReqId,
         key: Key,
-        value: Vec<u8>,
+        value: Payload,
         memgest: Option<MemgestId>,
     ) {
         let Some(g) = self.owned_group(key) else {
@@ -136,7 +136,7 @@ impl Node {
         g: GroupId,
         mid: MemgestId,
         key: Key,
-        value: Vec<u8>,
+        value: Payload,
         tombstone: bool,
         on_commit: OnCommit,
     ) {
@@ -184,7 +184,7 @@ impl Node {
         mid: MemgestId,
         key: Key,
         version: Version,
-        value: Vec<u8>,
+        value: Payload,
         tombstone: bool,
         on_commit: OnCommit,
     ) {
@@ -209,7 +209,13 @@ impl Node {
                     heap.alloc(len)
                 };
                 if !tombstone && len > 0 {
-                    let delta = heap.write_delta(addr, &value);
+                    // Versioned writes always land in fresh bump-allocated
+                    // (zeroed) space, so the parity delta `new ^ old` is
+                    // the value itself — no read-back or XOR needed.
+                    heap.region()
+                        .write(addr, &value)
+                        .expect("allocated range is in bounds");
+                    let delta: &[u8] = &value;
                     let targets = match scheme {
                         Scheme::Srs { m, .. } => self.config.parity_targets(g, m),
                         Scheme::Rep { .. } => unreachable!("SRS store"),
@@ -220,11 +226,19 @@ impl Node {
                         for seg in &segs {
                             let c = layout.coefficient(p_idx, seg);
                             let off = seg.data_addr - addr;
-                            let mut d = vec![0u8; seg.len];
-                            ring_gf::region::mul_into(&mut d, &delta[off..off + seg.len], c);
+                            let payload = if c == ring_gf::Gf256::ONE && off == 0 && seg.len == len
+                            {
+                                // Unit coefficient over the whole range:
+                                // share the client's payload, zero-copy.
+                                value.clone()
+                            } else {
+                                let mut d = vec![0u8; seg.len];
+                                ring_gf::region::mul_into(&mut d, &delta[off..off + seg.len], c);
+                                Payload::from(d)
+                            };
                             out.push(ParitySeg {
                                 parity_addr: seg.parity_addr,
-                                delta: d,
+                                delta: payload,
                             });
                         }
                         parity_msgs.push((
@@ -527,10 +541,11 @@ impl Node {
         }
         if entry.data_present {
             let value = match &coord.store {
-                CoordStore::Rep { values } => {
-                    values.get(&(key, version)).cloned().unwrap_or_default()
-                }
-                CoordStore::Srs { heap, .. } => heap.read(entry.addr, entry.len),
+                CoordStore::Rep { values } => values
+                    .get(&(key, version))
+                    .cloned()
+                    .unwrap_or_else(Payload::empty),
+                CoordStore::Srs { heap, .. } => Payload::from(heap.read(entry.addr, entry.len)),
             };
             self.respond(client.0, client.1, ClientResp::GetOk { value, version });
             return;
@@ -578,7 +593,7 @@ impl Node {
             g,
             mid,
             key,
-            Vec::new(),
+            Payload::empty(),
             true,
             OnCommit::ReplyDelete((from, req)),
         );
@@ -657,8 +672,11 @@ impl Node {
         // All local: no distributed transaction needed — the benefit of
         // the shared SRS key-to-node mapping (Section 5.2).
         let value = match &coord.store {
-            CoordStore::Rep { values } => values.get(&(key, version)).cloned().unwrap_or_default(),
-            CoordStore::Srs { heap, .. } => heap.read(entry.addr, entry.len),
+            CoordStore::Rep { values } => values
+                .get(&(key, version))
+                .cloned()
+                .unwrap_or_else(Payload::empty),
+            CoordStore::Srs { heap, .. } => Payload::from(heap.read(entry.addr, entry.len)),
         };
         self.local_write(g, dst, key, value, false, OnCommit::ReplyMove(client));
     }
@@ -758,7 +776,7 @@ impl Node {
         mid: MemgestId,
         key: Key,
         version: Version,
-        value: Option<Vec<u8>>,
+        value: Option<Payload>,
     ) {
         let Some(gs) = self.groups.get_mut(&g) else {
             return;
@@ -815,7 +833,7 @@ impl Node {
         g: GroupId,
         mid: MemgestId,
         addr: usize,
-        bytes: Option<Vec<u8>>,
+        bytes: Option<Payload>,
     ) {
         let Some(gs) = self.groups.get_mut(&g) else {
             return;

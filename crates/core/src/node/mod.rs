@@ -136,7 +136,7 @@ pub(crate) type PendingKey = (GroupId, MemgestId, Key, Version);
 pub(crate) struct StalledPut {
     pub key: Key,
     pub version: Version,
-    pub value: Vec<u8>,
+    pub value: ring_net::Payload,
     pub tombstone: bool,
     pub on_commit: OnCommit,
 }

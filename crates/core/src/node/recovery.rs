@@ -79,10 +79,13 @@ impl Node {
                 continue;
             };
             let (value, tombstone) = match coord.meta.get(key, version) {
-                Some(e) if e.tombstone => (Vec::new(), true),
+                Some(e) if e.tombstone => (ring_net::Payload::empty(), true),
                 Some(_) => match &coord.store {
                     CoordStore::Rep { values } => (
-                        values.get(&(key, version)).cloned().unwrap_or_default(),
+                        values
+                            .get(&(key, version))
+                            .cloned()
+                            .unwrap_or_else(ring_net::Payload::empty),
                         false,
                     ),
                     CoordStore::Srs { .. } => continue,
@@ -222,7 +225,7 @@ impl Node {
         mid: MemgestId,
         shard: usize,
         entries: Vec<MetaEntry>,
-        values: Vec<Option<Vec<u8>>>,
+        values: Vec<Option<ring_net::Payload>>,
     ) {
         if self.fetches.remove(&(g, mid, shard)).is_none() {
             return; // Duplicate answer from a retried fetch.

@@ -2,7 +2,7 @@
 //! metadata serving, and on-the-fly block decode (Sections 5.3 and 5.5).
 
 use ring_gf::Gf256;
-use ring_net::NodeId;
+use ring_net::{NodeId, Payload};
 
 use crate::proto::{MetaEntry, Msg, ParitySeg};
 use crate::storage::{data_mr_key, CoordStore, ObjectEntry, RedundantStore};
@@ -20,7 +20,7 @@ impl Node {
         mid: MemgestId,
         key: Key,
         version: Version,
-        value: Vec<u8>,
+        value: Payload,
         tombstone: bool,
     ) {
         self.ops.redundancy_updates += 1;
@@ -236,7 +236,7 @@ impl Node {
                 group: g,
                 memgest: mid,
                 addr,
-                bytes: result,
+                bytes: result.map(Payload::from),
             },
         );
     }

@@ -5,7 +5,7 @@
 //! approximate on-wire size (payload plus a fixed header) so the fabric
 //! can charge transmission time.
 
-use ring_net::{NodeId, WireSize};
+use ring_net::{NodeId, Payload, WireSize};
 
 use crate::config::ClusterConfig;
 use crate::error::RingError;
@@ -22,7 +22,7 @@ pub enum ClientReq {
         /// The key.
         key: Key,
         /// The value bytes.
-        value: Vec<u8>,
+        value: Payload,
         /// Target memgest; `None` selects the cluster default.
         memgest: Option<MemgestId>,
     },
@@ -88,7 +88,7 @@ pub enum ClientResp {
     /// Get result.
     GetOk {
         /// The value bytes.
-        value: Vec<u8>,
+        value: Payload,
         /// The version returned.
         version: Version,
     },
@@ -136,7 +136,7 @@ pub struct ParitySeg {
     /// Address in the parity node's heap for this memgest.
     pub parity_addr: usize,
     /// `g_{p,source} * (new ^ old)` bytes to XOR in.
-    pub delta: Vec<u8>,
+    pub delta: Payload,
 }
 
 /// Metadata of one object version, as exchanged during replication and
@@ -186,7 +186,7 @@ pub enum Msg {
         /// The version.
         version: Version,
         /// Full value bytes (empty for tombstones).
-        value: Vec<u8>,
+        value: Payload,
         /// Delete marker.
         tombstone: bool,
     },
@@ -306,7 +306,7 @@ pub enum Msg {
         /// Value bytes parallel to `entries` — populated when the
         /// requester also needs data copies (replicated memgests),
         /// `None` entries otherwise.
-        values: Vec<Option<Vec<u8>>>,
+        values: Vec<Option<Payload>>,
     },
     /// Coordinator -> replica: fetch a value copy (replicated memgests,
     /// on-demand data recovery).
@@ -331,7 +331,7 @@ pub enum Msg {
         /// The version.
         version: Version,
         /// The bytes, or `None` if this replica does not hold them.
-        value: Option<Vec<u8>>,
+        value: Option<Payload>,
     },
     /// New data node -> parity node: decode my lost heap range
     /// (on-the-fly block recovery, Section 5.5).
@@ -356,7 +356,7 @@ pub enum Msg {
         /// Heap address.
         addr: usize,
         /// Decoded bytes (`None` if reconstruction failed).
-        bytes: Option<Vec<u8>>,
+        bytes: Option<Payload>,
     },
     /// New parity node -> coordinators: stall SRS puts for this memgest
     /// while I rebuild the parity heap.
@@ -493,7 +493,7 @@ mod tests {
             req: 1,
             body: ClientReq::Put {
                 key: 1,
-                value: vec![0; 16],
+                value: Payload::from(vec![0; 16]),
                 memgest: None,
             },
         };
@@ -501,7 +501,7 @@ mod tests {
             req: 1,
             body: ClientReq::Put {
                 key: 1,
-                value: vec![0; 1024],
+                value: Payload::from(vec![0; 1024]),
                 memgest: None,
             },
         };
@@ -525,11 +525,11 @@ mod tests {
             segs: vec![
                 ParitySeg {
                     parity_addr: 0,
-                    delta: vec![0; 10],
+                    delta: Payload::from(vec![0; 10]),
                 },
                 ParitySeg {
                     parity_addr: 64,
-                    delta: vec![0; 10],
+                    delta: Payload::from(vec![0; 10]),
                 },
             ],
         };

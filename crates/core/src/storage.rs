@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use ring_erasure::SrsLayout;
-use ring_net::MemoryRegion;
+use ring_net::{MemoryRegion, Payload};
 
 use crate::proto::ClientTag;
 use crate::types::{GroupId, Key, MemgestDescriptor, MemgestId, Version};
@@ -304,14 +304,17 @@ impl Heap {
     /// Panics if the range was never allocated.
     pub fn write_delta(&mut self, addr: usize, bytes: &[u8]) -> Vec<u8> {
         assert!(addr + bytes.len() <= self.next, "write beyond frontier");
-        let old = self
+        // One allocation: the old bytes become the delta buffer, then a
+        // word-wide XOR folds the new bytes in.
+        let mut delta = self
             .region
             .read(addr, bytes.len())
             .expect("allocated range is in bounds");
         self.region
             .write(addr, bytes)
             .expect("allocated range is in bounds");
-        old.iter().zip(bytes).map(|(a, b)| a ^ b).collect()
+        ring_gf::region::xor_into(&mut delta, bytes);
+        delta
     }
 
     /// Reads `len` bytes at `addr`.
@@ -345,8 +348,9 @@ pub struct CoordMemgest {
 pub enum CoordStore {
     /// Replicated memgests store whole values per `(key, version)`.
     Rep {
-        /// The value map.
-        values: HashMap<(Key, Version), Vec<u8>>,
+        /// The value map (Arc-backed: entries share bytes with the
+        /// replication fan-out and response cache).
+        values: HashMap<(Key, Version), Payload>,
     },
     /// SRS memgests store values in an RDMA-registered heap with the
     /// stretched-code address arithmetic alongside.
@@ -374,8 +378,8 @@ pub struct RedundantMemgest {
 pub enum RedundantStore {
     /// Replica copies of whole values.
     Rep {
-        /// The value map.
-        values: HashMap<(Key, Version), Vec<u8>>,
+        /// The value map (Arc-backed, shared with the incoming message).
+        values: HashMap<(Key, Version), Payload>,
     },
     /// A parity heap region covering the coordinators' data heaps.
     Parity {

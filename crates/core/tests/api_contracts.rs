@@ -81,7 +81,7 @@ fn msg_wire_sizes_order_sensibly() {
         req: 1,
         body: ClientReq::Put {
             key: 1,
-            value: vec![0; 64],
+            value: ring_net::Payload::from(vec![0; 64]),
             memgest: None,
         },
     };
@@ -96,7 +96,7 @@ fn msg_wire_sizes_order_sensibly() {
     let resp_big = Msg::Response {
         req: 1,
         body: ClientResp::GetOk {
-            value: vec![0; 4096],
+            value: ring_net::Payload::from(vec![0; 4096]),
             version: 1,
         },
     };
@@ -115,7 +115,7 @@ fn msg_wire_sizes_order_sensibly() {
         },
         segs: vec![ParitySeg {
             parity_addr: 0,
-            delta: vec![0; 100],
+            delta: ring_net::Payload::from(vec![0; 100]),
         }],
     };
     assert!(parity.wire_size() > 100);

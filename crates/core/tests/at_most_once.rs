@@ -44,7 +44,7 @@ fn duplicated_write_requests_execute_at_most_once() {
         req,
         body: ClientReq::Put {
             key,
-            value: value.to_vec(),
+            value: value.to_vec().into(),
             memgest: Some(2), // REP3
         },
     };
@@ -86,7 +86,7 @@ fn duplicated_delete_cannot_tombstone_a_newer_put() {
             req: 1,
             body: ClientReq::Put {
                 key,
-                value: b"v1".to_vec(),
+                value: ring_net::Payload::from(&b"v1"[..]),
                 memgest: Some(2),
             },
         },
@@ -108,7 +108,7 @@ fn duplicated_delete_cannot_tombstone_a_newer_put() {
             req: 3,
             body: ClientReq::Put {
                 key,
-                value: b"v2".to_vec(),
+                value: ring_net::Payload::from(&b"v2"[..]),
                 memgest: Some(2),
             },
         },

@@ -93,7 +93,7 @@ fn figure5_multi_client_scenario() {
     assert_eq!(
         resp_d,
         ClientResp::GetOk {
-            value: b"obj1".to_vec(),
+            value: b"obj1".to_vec().into(),
             version: 1
         }
     );
@@ -126,7 +126,7 @@ fn get_blocks_until_commit() {
     assert_eq!(
         wait_response(&mut reader, r, Duration::from_secs(2)).unwrap(),
         ClientResp::GetOk {
-            value: b"pending".to_vec(),
+            value: b"pending".to_vec().into(),
             version: 1
         }
     );

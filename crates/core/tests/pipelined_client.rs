@@ -1,0 +1,174 @@
+//! Contract tests for the pipelined (windowed non-blocking) client API.
+//!
+//! The pipelined path must keep the sync path's guarantees while many
+//! requests are in flight: every submitted request completes exactly
+//! once, completions may arrive out of submission order, and duplicate
+//! delivery on the fabric (a retransmission race) never commits a write
+//! twice — the coordinator's RIFL-style dedup answers re-delivered
+//! requests from its response cache.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use ring_kvs::{Cluster, ClusterSpec, ReqId};
+use ring_net::{FaultAction, FaultInjector, LatencyModel, NodeId};
+
+fn fast_spec() -> ClusterSpec {
+    ClusterSpec {
+        latency: LatencyModel::instant(),
+        ..ClusterSpec::paper_evaluation()
+    }
+}
+
+const REP3: u32 = 2; // Memgest id in the paper_evaluation spec.
+
+/// Delays the first `n` messages sent by `from` by `delay` each;
+/// everything else is delivered untouched.
+struct DelayFirst {
+    from: NodeId,
+    n: usize,
+    delay: Duration,
+    seen: AtomicUsize,
+}
+
+impl FaultInjector for DelayFirst {
+    fn on_message(&self, from: NodeId, _to: NodeId, _bytes: usize) -> FaultAction {
+        if from == self.from && self.seen.fetch_add(1, Ordering::Relaxed) < self.n {
+            FaultAction::Delay(self.delay)
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+/// Duplicates every message from `from` after a short extra delay.
+struct DuplicateAll {
+    from: NodeId,
+}
+
+impl FaultInjector for DuplicateAll {
+    fn on_message(&self, from: NodeId, _to: NodeId, _bytes: usize) -> FaultAction {
+        if from == self.from {
+            FaultAction::Duplicate(Duration::from_micros(200))
+        } else {
+            FaultAction::Deliver
+        }
+    }
+}
+
+#[test]
+fn window_keeps_many_requests_in_flight_and_completes_each_once() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    client.set_window(8);
+
+    let n = 40u64;
+    let mut submitted: Vec<ReqId> = Vec::new();
+    let mut completions = Vec::new();
+    for key in 0..n {
+        let value = key.to_le_bytes();
+        submitted.push(client.put_nb(key, &value, Some(REP3)).unwrap());
+        assert!(client.in_flight() <= 8, "window must bound in-flight");
+        completions.extend(client.poll());
+    }
+    completions.extend(client.drain());
+    assert_eq!(client.in_flight(), 0);
+
+    // Exactly one completion per submission, all successful.
+    let ids: HashSet<ReqId> = completions.iter().map(|(r, _)| *r).collect();
+    assert_eq!(completions.len(), n as usize);
+    assert_eq!(ids, submitted.iter().copied().collect());
+    for (req, res) in &completions {
+        assert!(res.is_ok(), "req {req} failed: {res:?}");
+    }
+
+    // And the writes landed: read everything back through the sync API.
+    for key in 0..n {
+        assert_eq!(client.get(key).unwrap(), key.to_le_bytes());
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn completions_can_arrive_out_of_submission_order() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    client.set_window(8);
+
+    // Preload distinct keys so the gets below have answers.
+    for key in 0..4u64 {
+        client.put_to(key, b"preloaded-value!", REP3).unwrap();
+    }
+
+    // Delay the client's next (first pipelined) request on the wire;
+    // the following ones overtake it, so its response arrives last.
+    cluster
+        .fabric()
+        .set_fault_injector(std::sync::Arc::new(DelayFirst {
+            from: client.id(),
+            n: 1,
+            delay: Duration::from_millis(20),
+            seen: AtomicUsize::new(0),
+        }));
+
+    let slow = client.get_nb(0).unwrap();
+    let mut fast = Vec::new();
+    for key in 1..4u64 {
+        fast.push(client.get_nb(key).unwrap());
+    }
+    let completions = client.drain();
+    cluster.fabric().clear_fault_injector();
+
+    assert_eq!(completions.len(), 4);
+    let order: Vec<ReqId> = completions.iter().map(|(r, _)| *r).collect();
+    assert_eq!(order.last(), Some(&slow), "delayed request finishes last");
+    // The undelayed requests overtook it (their relative order depends
+    // on coordinator-thread scheduling and is deliberately unspecified).
+    let overtakers: HashSet<ReqId> = order[..3].iter().copied().collect();
+    assert_eq!(overtakers, fast.iter().copied().collect());
+    for (_, res) in &completions {
+        assert!(res.is_ok(), "{res:?}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn duplicate_delivery_of_pipelined_puts_stays_at_most_once() {
+    let cluster = Cluster::start(fast_spec());
+    let mut client = cluster.client();
+    client.set_window(4);
+
+    // Every client message is delivered twice from here on: each
+    // pipelined put reaches the coordinator as a retransmission race.
+    cluster
+        .fabric()
+        .set_fault_injector(std::sync::Arc::new(DuplicateAll { from: client.id() }));
+
+    let n = 20u64;
+    let key = 7u64;
+    let mut completions = Vec::new();
+    for i in 0..n {
+        let value = i.to_le_bytes();
+        client.put_nb(key, &value, Some(REP3)).unwrap();
+        completions.extend(client.poll());
+    }
+    completions.extend(client.drain());
+    cluster.fabric().clear_fault_injector();
+
+    // Every put committed exactly once: the n assigned versions are a
+    // permutation of 1..=n (a double-execution would skip past n).
+    let mut versions: Vec<u64> = completions
+        .iter()
+        .map(|(req, res)| match res {
+            Ok(ring_kvs::ClientResp::PutOk { version }) => *version,
+            other => panic!("req {req}: unexpected {other:?}"),
+        })
+        .collect();
+    versions.sort_unstable();
+    assert_eq!(versions, (1..=n).collect::<Vec<_>>());
+
+    let (_, final_version) = client.get_versioned(key).unwrap();
+    assert_eq!(final_version, n, "exactly n commits, no duplicates");
+    cluster.shutdown();
+}

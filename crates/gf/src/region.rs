@@ -2,12 +2,64 @@
 //!
 //! These are the hot loops of erasure coding: every encode, decode and
 //! parity-delta update is a sequence of `dst ^= c * src` operations over
-//! whole blocks. The constant's 256-entry multiplication table is fetched
-//! once per call, so the per-byte work is a single lookup plus XOR, the
-//! same structure GF-Complete's "table" mode uses.
+//! whole blocks. Two kernels sit behind each public entry point:
+//!
+//! - **Table** (short regions): the constant's 256-entry multiplication
+//!   table is fetched once per call and the per-byte work is a single
+//!   lookup plus XOR — GF-Complete's "table" mode.
+//! - **SWAR** (long regions): eight bytes per step in a `u64`, using the
+//!   bit-decomposition trick from GF-Complete's word-wide modes. For a
+//!   constant `c`, precompute `tab[i] = c·2^i`; a source word `w` then
+//!   satisfies `c·w = XOR_i broadcast(bit_i(w)) * tab[i]`, where the
+//!   broadcast isolates bit `i` of every byte lane
+//!   (`(w >> i) & 0x0101…01`) and the multiply places `tab[i]` into each
+//!   selected lane. `tab[i] < 256` and the mask bytes are 0/1, so lane
+//!   products never carry across byte boundaries.
+//!
+//! Kernel selection is by region length at runtime; the public API is
+//! unchanged.
 
 use crate::tables::MUL;
 use crate::Gf256;
+
+/// Regions at least this long use the word-wide SWAR kernel; shorter
+/// ones stay on the table kernel (the SWAR setup cost — building the
+/// 8-entry `tab` — only amortises over a few words).
+const SWAR_THRESHOLD: usize = 64;
+
+/// The least-significant bit of every byte lane in a `u64`.
+const LANE_LSB: u64 = 0x0101_0101_0101_0101;
+
+/// Per-bit multiplier table for the SWAR kernel: `tab[i] = c · 2^i`.
+#[inline]
+fn swar_tab(c: Gf256) -> [u64; 8] {
+    let row = &MUL[c.0 as usize];
+    let mut tab = [0u64; 8];
+    for (i, t) in tab.iter_mut().enumerate() {
+        *t = row[1usize << i] as u64;
+    }
+    tab
+}
+
+/// Multiplies all eight byte lanes of `w` by the constant encoded in
+/// `tab`, in one pass of shifts/masks/multiplies.
+#[inline]
+fn swar_mul_word(w: u64, tab: &[u64; 8]) -> u64 {
+    let mut r = (w & LANE_LSB).wrapping_mul(tab[0]);
+    r ^= ((w >> 1) & LANE_LSB).wrapping_mul(tab[1]);
+    r ^= ((w >> 2) & LANE_LSB).wrapping_mul(tab[2]);
+    r ^= ((w >> 3) & LANE_LSB).wrapping_mul(tab[3]);
+    r ^= ((w >> 4) & LANE_LSB).wrapping_mul(tab[4]);
+    r ^= ((w >> 5) & LANE_LSB).wrapping_mul(tab[5]);
+    r ^= ((w >> 6) & LANE_LSB).wrapping_mul(tab[6]);
+    r ^= ((w >> 7) & LANE_LSB).wrapping_mul(tab[7]);
+    r
+}
+
+#[inline]
+fn load_word(b: &[u8]) -> u64 {
+    u64::from_ne_bytes(b.try_into().expect("chunk of 8"))
+}
 
 /// XORs `src` into `dst`: `dst[i] ^= src[i]`.
 ///
@@ -38,6 +90,18 @@ pub fn mul_in_place(data: &mut [u8], c: Gf256) {
     match c {
         Gf256::ZERO => data.fill(0),
         Gf256::ONE => {}
+        _ if data.len() >= SWAR_THRESHOLD => {
+            let tab = swar_tab(c);
+            let table = &MUL[c.0 as usize];
+            let mut chunks = data.chunks_exact_mut(8);
+            for d in chunks.by_ref() {
+                let w = swar_mul_word(load_word(d), &tab);
+                d.copy_from_slice(&w.to_ne_bytes());
+            }
+            for b in chunks.into_remainder() {
+                *b = table[*b as usize];
+            }
+        }
         _ => {
             let table = &MUL[c.0 as usize];
             for b in data.iter_mut() {
@@ -61,6 +125,19 @@ pub fn mul_acc(dst: &mut [u8], src: &[u8], c: Gf256) {
     match c {
         Gf256::ZERO => {}
         Gf256::ONE => xor_into(dst, src),
+        _ if dst.len() >= SWAR_THRESHOLD => {
+            let tab = swar_tab(c);
+            let table = &MUL[c.0 as usize];
+            let mut cd = dst.chunks_exact_mut(8);
+            let mut cs = src.chunks_exact(8);
+            for (d, s) in cd.by_ref().zip(cs.by_ref()) {
+                let w = load_word(d) ^ swar_mul_word(load_word(s), &tab);
+                d.copy_from_slice(&w.to_ne_bytes());
+            }
+            for (d, s) in cd.into_remainder().iter_mut().zip(cs.remainder()) {
+                *d ^= table[*s as usize];
+            }
+        }
         _ => {
             let table = &MUL[c.0 as usize];
             for (d, s) in dst.iter_mut().zip(src) {
@@ -80,6 +157,19 @@ pub fn mul_into(dst: &mut [u8], src: &[u8], c: Gf256) {
     match c {
         Gf256::ZERO => dst.fill(0),
         Gf256::ONE => dst.copy_from_slice(src),
+        _ if dst.len() >= SWAR_THRESHOLD => {
+            let tab = swar_tab(c);
+            let table = &MUL[c.0 as usize];
+            let mut cd = dst.chunks_exact_mut(8);
+            let mut cs = src.chunks_exact(8);
+            for (d, s) in cd.by_ref().zip(cs.by_ref()) {
+                let w = swar_mul_word(load_word(s), &tab);
+                d.copy_from_slice(&w.to_ne_bytes());
+            }
+            for (d, s) in cd.into_remainder().iter_mut().zip(cs.remainder()) {
+                *d = table[*s as usize];
+            }
+        }
         _ => {
             let table = &MUL[c.0 as usize];
             for (d, s) in dst.iter_mut().zip(src) {
@@ -96,7 +186,10 @@ pub fn mul_into(dst: &mut [u8], src: &[u8], c: Gf256) {
 /// Panics if the slices have different lengths.
 pub fn delta(old: &[u8], new: &[u8]) -> Vec<u8> {
     assert_eq!(old.len(), new.len(), "region length mismatch");
-    old.iter().zip(new).map(|(a, b)| a ^ b).collect()
+    // One allocation, then the word-wide XOR kernel.
+    let mut out = new.to_vec();
+    xor_into(&mut out, old);
+    out
 }
 
 #[cfg(test)]

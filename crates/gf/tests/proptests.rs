@@ -7,6 +7,25 @@ fn gf() -> impl Strategy<Value = Gf256> {
     any::<u8>().prop_map(Gf256)
 }
 
+/// Scalar reference for `c * b`, built only from the public field ops —
+/// independent of both the table and SWAR region kernels.
+fn scalar_mul(c: u8, b: u8) -> u8 {
+    (Gf256(c) * Gf256(b)).0
+}
+
+/// Region lengths that exercise both kernels (table below the dispatch
+/// threshold, SWAR above) plus word-boundary edge cases.
+fn region_len() -> impl Strategy<Value = usize> {
+    const EDGES: [usize; 8] = [0, 1, 7, 8, 9, 63, 64, 65];
+    any::<u16>().prop_map(|v| {
+        if v % 3 == 0 {
+            EDGES[(v as usize / 3) % EDGES.len()]
+        } else {
+            v as usize % 300
+        }
+    })
+}
+
 fn nonzero_gf() -> impl Strategy<Value = Gf256> {
     (1u8..=255).prop_map(Gf256)
 }
@@ -95,6 +114,88 @@ proptest! {
         let mut patched = old.clone();
         region::xor_into(&mut patched, &d);
         prop_assert_eq!(patched, new);
+    }
+
+    #[test]
+    fn mul_acc_kernels_match_scalar_reference(
+        len in region_len(),
+        align in 0usize..8,
+        c in any::<u8>(),
+        fill in any::<u64>(),
+    ) {
+        // Carve unaligned windows out of larger buffers so the SWAR
+        // word loop sees every possible start alignment.
+        let mut state = fill | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        let src_buf: Vec<u8> = (0..len + align).map(|_| next()).collect();
+        let mut dst_buf: Vec<u8> = (0..len + align).map(|_| next()).collect();
+        let src = &src_buf[align..];
+        let dst = &mut dst_buf[align..];
+        let expect: Vec<u8> = dst
+            .iter()
+            .zip(src)
+            .map(|(d, s)| d ^ scalar_mul(c, *s))
+            .collect();
+        region::mul_acc(dst, src, Gf256(c));
+        prop_assert_eq!(&dst[..], &expect[..]);
+    }
+
+    #[test]
+    fn mul_into_kernels_match_scalar_reference(
+        len in region_len(),
+        align in 0usize..8,
+        c in any::<u8>(),
+        fill in any::<u64>(),
+    ) {
+        let mut state = fill | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        let src_buf: Vec<u8> = (0..len + align).map(|_| next()).collect();
+        let src = &src_buf[align..];
+        let mut dst = vec![0xA5u8; len];
+        let expect: Vec<u8> = src.iter().map(|s| scalar_mul(c, *s)).collect();
+        region::mul_into(&mut dst, src, Gf256(c));
+        prop_assert_eq!(&dst[..], &expect[..]);
+    }
+
+    #[test]
+    fn mul_in_place_kernels_match_scalar_reference(
+        len in region_len(),
+        align in 0usize..8,
+        c in any::<u8>(),
+        fill in any::<u64>(),
+    ) {
+        let mut state = fill | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        let mut buf: Vec<u8> = (0..len + align).map(|_| next()).collect();
+        let data = &mut buf[align..];
+        let expect: Vec<u8> = data.iter().map(|b| scalar_mul(c, *b)).collect();
+        region::mul_in_place(data, Gf256(c));
+        prop_assert_eq!(&data[..], &expect[..]);
+    }
+
+    #[test]
+    fn delta_matches_bytewise_xor(
+        len in region_len(),
+        fill in any::<u64>(),
+    ) {
+        let mut state = fill | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u8
+        };
+        let old: Vec<u8> = (0..len).map(|_| next()).collect();
+        let new: Vec<u8> = (0..len).map(|_| next()).collect();
+        let expect: Vec<u8> = old.iter().zip(&new).map(|(a, b)| a ^ b).collect();
+        prop_assert_eq!(region::delta(&old, &new), expect);
     }
 
     #[test]

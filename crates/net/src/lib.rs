@@ -48,6 +48,7 @@ mod fault;
 mod latency;
 mod mailbox;
 mod memory;
+mod payload;
 mod stats;
 
 pub use endpoint::Endpoint;
@@ -56,6 +57,7 @@ pub use fabric::Fabric;
 pub use fault::{FaultAction, FaultInjector, NoFaults};
 pub use latency::{spin_wait, LatencyModel};
 pub use memory::{MemoryRegion, MrKey};
+pub use payload::Payload;
 pub use stats::{NetStats, NetStatsSnapshot};
 
 /// Node identifier on a fabric.

@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,6 +48,10 @@ pub(crate) struct Mailbox<M> {
     cond: Condvar,
     seq: AtomicU64,
     closed: AtomicBool,
+    // Mirror of heap.len(), kept so stats paths (`len`) never contend on
+    // the heap lock. Updated while holding the lock, read lock-free; the
+    // value is advisory and may lag a concurrent push/pop by one.
+    count: AtomicUsize,
 }
 
 impl<M> Mailbox<M> {
@@ -57,6 +61,7 @@ impl<M> Mailbox<M> {
             cond: Condvar::new(),
             seq: AtomicU64::new(0),
             closed: AtomicBool::new(false),
+            count: AtomicUsize::new(0),
         })
     }
 
@@ -72,6 +77,7 @@ impl<M> Mailbox<M> {
             from,
             msg,
         });
+        self.count.store(heap.len(), AtomicOrdering::Relaxed);
         drop(heap);
         self.cond.notify_one();
     }
@@ -79,6 +85,7 @@ impl<M> Mailbox<M> {
     pub(crate) fn close(&self) {
         self.closed.store(true, AtomicOrdering::Release);
         self.heap.lock().clear();
+        self.count.store(0, AtomicOrdering::Relaxed);
         self.cond.notify_all();
     }
 
@@ -98,6 +105,7 @@ impl<M> Mailbox<M> {
             if let Some(head) = heap.peek() {
                 if head.deliver_at <= now {
                     let p = heap.pop().expect("peeked");
+                    self.count.store(heap.len(), AtomicOrdering::Relaxed);
                     return Ok((p.from, p.msg));
                 }
                 // Head not due yet; wait until it is (or new mail).
@@ -139,6 +147,7 @@ impl<M> Mailbox<M> {
         if let Some(head) = heap.peek() {
             if head.deliver_at <= Instant::now() {
                 let p = heap.pop().expect("peeked");
+                self.count.store(heap.len(), AtomicOrdering::Relaxed);
                 return Ok(Some((p.from, p.msg)));
             }
         }
@@ -146,8 +155,11 @@ impl<M> Mailbox<M> {
     }
 
     /// Number of queued (not necessarily due) packets.
+    ///
+    /// Lock-free: reads a relaxed mirror of the heap size so stats paths
+    /// never contend with senders/receivers for the heap lock.
     pub(crate) fn len(&self) -> usize {
-        self.heap.lock().len()
+        self.count.load(AtomicOrdering::Relaxed)
     }
 }
 

@@ -127,7 +127,16 @@ impl MemoryRegion {
                 region: d.len(),
             });
         }
-        for (dst, src) in d[offset..end].iter_mut().zip(bytes) {
+        // Word-wide XOR: this sits on the parity-update hot path.
+        let dst = &mut d[offset..end];
+        let mut cd = dst.chunks_exact_mut(8);
+        let mut cs = bytes.chunks_exact(8);
+        for (dw, sw) in cd.by_ref().zip(cs.by_ref()) {
+            let v = u64::from_ne_bytes(dw.try_into().expect("chunk of 8"))
+                ^ u64::from_ne_bytes(sw.try_into().expect("chunk of 8"));
+            dw.copy_from_slice(&v.to_ne_bytes());
+        }
+        for (dst, src) in cd.into_remainder().iter_mut().zip(cs.remainder()) {
             *dst ^= src;
         }
         Ok(())

@@ -1,0 +1,155 @@
+//! Cheaply-clonable, immutable byte payloads.
+//!
+//! Value bytes travel a long way in Ring's write path: client request →
+//! multicast attempts → coordinator store → r-way replication fan-out →
+//! retransmit buffers → dedup response cache. With `Vec<u8>` every hop
+//! deep-copies; [`Payload`] wraps the bytes in an `Arc<[u8]>` so each hop
+//! is a reference-count bump. Payloads are immutable by construction,
+//! which is exactly the contract a committed value needs.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::WireSize;
+
+/// Immutable, reference-counted byte buffer.
+///
+/// Cloning a `Payload` is O(1) (an atomic increment); the underlying
+/// bytes are shared and never mutated. Internally an `Arc<Vec<u8>>`
+/// rather than `Arc<[u8]>` so that `Payload::from(Vec<u8>)` — the hot
+/// constructor on the write and replication paths — moves the buffer
+/// instead of re-copying it into a fresh allocation.
+#[derive(Clone)]
+pub struct Payload(Arc<Vec<u8>>);
+
+impl Payload {
+    /// An empty payload (shares no allocation of interest).
+    pub fn empty() -> Self {
+        Payload(Arc::new(Vec::new()))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the payload has no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copies the bytes out into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        // Zero-copy: the Vec moves into the Arc allocation's header;
+        // the byte buffer itself is not touched.
+        Payload(Arc::new(v))
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        Payload(Arc::new(v.to_vec()))
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Self {
+        Payload(Arc::new(v.to_vec()))
+    }
+}
+
+impl From<Box<[u8]>> for Payload {
+    fn from(v: Box<[u8]>) -> Self {
+        Payload(Arc::new(v.into_vec()))
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality short-circuits the common shared-Arc case.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Payload {}
+
+impl PartialEq<[u8]> for Payload {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.0.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.0.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes)", self.0.len())
+    }
+}
+
+impl WireSize for Payload {
+    fn wire_size(&self) -> usize {
+        self.0.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_bytes() {
+        let p = Payload::from(vec![1u8, 2, 3]);
+        let q = p.clone();
+        assert!(std::ptr::eq(p.as_slice().as_ptr(), q.as_slice().as_ptr()));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn conversions_and_eq() {
+        let p = Payload::from(&b"hello"[..]);
+        assert_eq!(p, b"hello".to_vec());
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.to_vec(), b"hello");
+        let e = Payload::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.wire_size(), 0);
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let p = Payload::from(vec![9u8; 16]);
+        assert_eq!(p[3], 9);
+        assert_eq!(&p[..4], &[9u8; 4]);
+    }
+}
