@@ -28,7 +28,7 @@
 //! `(key, version)` identifies one write, so no two distinct tags may
 //! ever be returned under the same `(key, version)`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use ring_kvs::{Key, Version};
 
@@ -115,7 +115,7 @@ pub fn check_history_with_budget(history: &History, budget: u64) -> CheckOutcome
         return CheckOutcome::Violation(v);
     }
 
-    let mut by_key: HashMap<Key, Vec<&Event>> = HashMap::new();
+    let mut by_key: BTreeMap<Key, Vec<&Event>> = BTreeMap::new();
     for e in &history.events {
         by_key.entry(e.key).or_default().push(e);
     }

@@ -166,6 +166,65 @@ impl History {
             .filter(|e| matches!(e.outcome, Outcome::Failed(_)))
             .count()
     }
+
+    /// Canonical byte serialization of the history's *logical* content:
+    /// every field of every event in recording order, excluding the
+    /// wall-clock timestamps (`invoked_ns`/`returned_ns`), which vary
+    /// run to run even when the run is otherwise deterministic. Two
+    /// sequential soaks with the same master seed must produce equal
+    /// canonical bytes — the determinism regression test asserts this.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        fn push_tag(out: &mut Vec<u8>, tag: Tag) {
+            out.extend_from_slice(&tag.0.to_le_bytes());
+            out.extend_from_slice(&tag.1.to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(self.events.len() * 48);
+        for e in &self.events {
+            out.extend_from_slice(&e.client.to_le_bytes());
+            out.extend_from_slice(&e.op.to_le_bytes());
+            out.extend_from_slice(&e.key.to_le_bytes());
+            match e.call {
+                Invocation::Put { tag, memgest } => {
+                    out.push(0);
+                    push_tag(&mut out, tag);
+                    out.push(memgest.is_some() as u8);
+                    out.extend_from_slice(&memgest.unwrap_or(0).to_le_bytes());
+                }
+                Invocation::Get => out.push(1),
+                Invocation::Delete => out.push(2),
+                Invocation::Move { to } => {
+                    out.push(3);
+                    out.extend_from_slice(&to.to_le_bytes());
+                }
+            }
+            match &e.outcome {
+                Outcome::PutOk { version } => {
+                    out.push(0);
+                    out.extend_from_slice(&version.to_le_bytes());
+                }
+                Outcome::GetOk { tag, version } => {
+                    out.push(1);
+                    out.push(tag.is_some() as u8);
+                    push_tag(&mut out, tag.unwrap_or((0, 0)));
+                    out.push(version.is_some() as u8);
+                    out.extend_from_slice(&version.unwrap_or(0).to_le_bytes());
+                }
+                Outcome::DeleteOk => out.push(2),
+                Outcome::MoveOk { version } => {
+                    out.push(3);
+                    out.extend_from_slice(&version.to_le_bytes());
+                }
+                Outcome::MoveNoop => out.push(4),
+                Outcome::Maybe => out.push(5),
+                Outcome::Failed(msg) => {
+                    out.push(6);
+                    out.extend_from_slice(&(msg.len() as u64).to_le_bytes());
+                    out.extend_from_slice(msg.as_bytes());
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Shared event log + id allocator for a family of [`RecordedClient`]s.
@@ -180,7 +239,7 @@ impl HistoryRecorder {
     /// A fresh, empty recorder.
     pub fn new() -> Arc<HistoryRecorder> {
         Arc::new(HistoryRecorder {
-            epoch: Instant::now(),
+            epoch: ring_net::clock::now(),
             next_client: AtomicU64::new(0),
             next_op: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),

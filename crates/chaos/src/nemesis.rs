@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ring_kvs::proto::RingFabric;
 use ring_net::{FaultAction, FaultInjector, NodeId};
@@ -352,7 +352,7 @@ impl Nemesis {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
-            let began = Instant::now();
+            let began = ring_net::clock::now();
             let mut partitions = 0usize;
             let mut crashes = 0usize;
             'events: for ev in timeline {

@@ -22,9 +22,9 @@ use crate::history::HistoryRecorder;
 use crate::nemesis::{FaultPlan, MessageFaults, Nemesis, NemesisSpec};
 use crate::Digest;
 
-/// In-flight pipeline depth of each scripted soak client. Deep enough
-/// to exercise out-of-order completion and duplicate-delivery races,
-/// shallow enough that per-key contention stays realistic.
+/// Default in-flight pipeline depth of each scripted soak client. Deep
+/// enough to exercise out-of-order completion and duplicate-delivery
+/// races, shallow enough that per-key contention stays realistic.
 const SOAK_WINDOW: usize = 4;
 
 /// One scripted client operation.
@@ -108,6 +108,8 @@ pub struct SoakConfig {
     pub faults: MessageFaults,
     /// Coarse-fault timeline spec.
     pub nemesis: NemesisSpec,
+    /// In-flight pipeline depth per scripted client (1 = synchronous).
+    pub window: usize,
 }
 
 impl SoakConfig {
@@ -154,7 +156,28 @@ impl SoakConfig {
             memgests: vec![0, 1],
             faults: MessageFaults::light(),
             nemesis: NemesisSpec::standard(),
+            window: SOAK_WINDOW,
         }
+    }
+
+    /// A fully sequential soak: one client, synchronous ops, no faults
+    /// of any kind, generous timeouts. With concurrency and faults
+    /// removed, the *complete recorded history* — not just the schedule
+    /// — is a pure function of the seed, which is what the determinism
+    /// regression test (`crates/chaos/tests/determinism.rs`) pins down.
+    pub fn sequential(seed: u64) -> SoakConfig {
+        let mut cfg = SoakConfig::acceptance(seed);
+        cfg.spec.client_timeout = Duration::from_secs(5);
+        cfg.clients = 1;
+        cfg.ops_per_client = 400;
+        cfg.window = 1;
+        cfg.faults = MessageFaults::none();
+        cfg.nemesis = NemesisSpec {
+            partitions: 0,
+            crashes: 0,
+            ..NemesisSpec::quiet()
+        };
+        cfg
     }
 
     /// The scripted op streams, one per client: pure in the seed.
@@ -249,6 +272,8 @@ pub struct SoakReport {
     pub message_faults: (u64, u64, u64, u64),
     /// The checker's verdict.
     pub checker: CheckOutcome,
+    /// The full recorded history the verdict was computed over.
+    pub history: crate::history::History,
 }
 
 impl SoakReport {
@@ -299,12 +324,12 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         for (mut rc, script) in clients.drain(..).zip(scripts.iter()) {
             scope.spawn(move || {
                 // Pipelined workload driver: each client keeps up to
-                // SOAK_WINDOW scripted ops in flight. Errors and
+                // `cfg.window` scripted ops in flight. Errors and
                 // timeouts are part of the history; the checker, not
                 // the workload, judges them. Retries inside the client
                 // are idempotent (coordinator dedup), so pipelining
                 // keeps at-most-once semantics even under faults.
-                rc.set_window(SOAK_WINDOW);
+                rc.set_window(cfg.window);
                 for op in script {
                     match *op {
                         ScriptOp::Put { key, memgest } => rc.put_nb(key, memgest),
@@ -349,6 +374,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         crashes,
         message_faults: plan.counters(),
         checker,
+        history,
     }
 }
 

@@ -1,0 +1,81 @@
+//! Determinism regression: two sequential soaks with the same master
+//! seed must record byte-identical histories.
+//!
+//! The sequential preset removes every source of nondeterminism the
+//! design intends (one client, synchronous window, zero message faults,
+//! zero partitions/crashes); what remains — op scripts, key draws,
+//! value tags, versions, observed reads — must then be a pure function
+//! of `ClusterSpec::seed`. A diff here means some protocol path sneaked
+//! in ambient time, ambient entropy, or hash-ordered iteration, which
+//! is exactly what ring-lint's deterministic-path rules police
+//! statically; this test is the dynamic backstop.
+
+use ring_chaos::{run_soak, SoakConfig};
+
+fn seed() -> u64 {
+    std::env::var("RING_CHAOS_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                s.parse().ok()
+            }
+        })
+        .unwrap_or(0xD3_7E_12_57)
+}
+
+#[test]
+fn sequential_soak_replays_byte_identical() {
+    let cfg = SoakConfig::sequential(seed());
+
+    let a = run_soak(&cfg);
+    let b = run_soak(&cfg);
+
+    assert!(a.passed(), "first run must linearize: {:?}", a.checker);
+    assert!(b.passed(), "second run must linearize: {:?}", b.checker);
+    assert_eq!(a.schedule_digest, b.schedule_digest, "schedule diverged");
+    assert_eq!(a.ops, b.ops, "op counts diverged: {} vs {}", a.ops, b.ops);
+    // No faults are injected, so nothing may time out or fail — a
+    // Maybe would make histories legitimately diverge.
+    assert_eq!((a.timeouts, a.failures), (0, 0), "faultless run timed out");
+    assert_eq!((b.timeouts, b.failures), (0, 0), "faultless run timed out");
+
+    let bytes_a = a.history.canonical_bytes();
+    let bytes_b = b.history.canonical_bytes();
+    if bytes_a != bytes_b {
+        // Locate the first diverging event for an actionable failure.
+        let n = a.history.events.len().min(b.history.events.len());
+        for i in 0..n {
+            let (ea, eb) = (&a.history.events[i], &b.history.events[i]);
+            let same = ea.client == eb.client
+                && ea.op == eb.op
+                && ea.key == eb.key
+                && ea.call == eb.call
+                && ea.outcome == eb.outcome;
+            assert!(
+                same,
+                "histories diverge at event {i}:\n  run A: {ea:?}\n  run B: {eb:?}"
+            );
+        }
+        panic!(
+            "histories diverge in length: {} vs {} events",
+            a.history.events.len(),
+            b.history.events.len()
+        );
+    }
+}
+
+#[test]
+fn different_seeds_record_different_histories() {
+    let a = run_soak(&SoakConfig::sequential(1));
+    let b = run_soak(&SoakConfig::sequential(2));
+    assert!(a.passed() && b.passed());
+    assert_ne!(a.schedule_digest, b.schedule_digest);
+    assert_ne!(
+        a.history.canonical_bytes(),
+        b.history.canonical_bytes(),
+        "different seeds produced identical histories"
+    );
+}

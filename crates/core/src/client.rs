@@ -14,8 +14,7 @@
 //!   dedup table makes re-delivered `(client, req)` pairs idempotent —
 //!   a retry can never commit a second version.
 
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use ring_net::{NodeId, Payload};
@@ -81,7 +80,7 @@ pub struct RingClient {
     /// built once instead of per attempt.
     all_nodes: Vec<NodeId>,
     /// Outstanding pipelined requests by id.
-    inflight: HashMap<ReqId, InFlight>,
+    inflight: BTreeMap<ReqId, InFlight>,
     /// Completed pipelined requests not yet handed to the caller.
     completed: VecDeque<Completion>,
     /// Lower bound on the earliest in-flight deadline: `retry_expired`
@@ -108,7 +107,7 @@ impl RingClient {
             next_req: 1,
             opts,
             all_nodes,
-            inflight: HashMap::new(),
+            inflight: BTreeMap::new(),
             completed: VecDeque::new(),
             next_deadline: None,
         }
@@ -161,7 +160,7 @@ impl RingClient {
                 body: body.clone(),
             },
         )?;
-        let deadline = Instant::now() + self.opts.timeout;
+        let deadline = ring_net::clock::now() + self.opts.timeout;
         self.next_deadline = Some(match self.next_deadline {
             Some(d) => d.min(deadline),
             None => deadline,
@@ -202,7 +201,7 @@ impl RingClient {
             if self.completed.is_empty() && !self.inflight.is_empty() {
                 // Nothing done yet: block until mail, the earliest
                 // retry deadline, or the caller's budget.
-                let now = Instant::now();
+                let now = ring_net::clock::now();
                 let until = match self.next_deadline {
                     Some(d) => (now + wait).min(d),
                     None => now + wait,
@@ -239,7 +238,7 @@ impl RingClient {
             self.next_deadline = None;
             return;
         }
-        let now = Instant::now();
+        let now = ring_net::clock::now();
         // Fast path: nothing can have expired yet.
         if let Some(d) = self.next_deadline {
             if now < d {

@@ -57,7 +57,7 @@ pub struct Leader {
     default_memgest: MemgestId,
     last_seen: HashMap<NodeId, Instant>,
     dead: HashSet<NodeId>,
-    ctrl: HashMap<u64, CtrlOp>,
+    ctrl: BTreeMap<u64, CtrlOp>,
     next_token: u64,
     next_memgest: MemgestId,
     opts: LeaderOptions,
@@ -72,7 +72,7 @@ impl Leader {
         default_memgest: MemgestId,
         opts: LeaderOptions,
     ) -> Leader {
-        let now = Instant::now() + opts.startup_grace;
+        let now = ring_net::clock::now() + opts.startup_grace;
         let mut last_seen = HashMap::new();
         for &n in config.nodes.iter().chain(config.spares.iter()) {
             last_seen.insert(n, now);
@@ -85,7 +85,7 @@ impl Leader {
             default_memgest,
             last_seen,
             dead: HashSet::new(),
-            ctrl: HashMap::new(),
+            ctrl: BTreeMap::new(),
             next_token: 1,
             next_memgest,
             opts,
@@ -107,7 +107,7 @@ impl Leader {
     fn dispatch(&mut self, from: NodeId, msg: Msg) {
         match msg {
             Msg::Heartbeat if !self.dead.contains(&from) => {
-                self.last_seen.insert(from, Instant::now());
+                self.last_seen.insert(from, ring_net::clock::now());
             }
             Msg::Heartbeat => {}
             Msg::CtrlAck { token } => {
@@ -247,13 +247,13 @@ impl Leader {
                 client,
                 resp,
                 awaiting,
-                deadline: Instant::now() + self.opts.ctrl_timeout,
+                deadline: ring_net::clock::now() + self.opts.ctrl_timeout,
             },
         );
     }
 
     fn tick(&mut self) {
-        let now = Instant::now();
+        let now = ring_net::clock::now();
 
         // Flush expired control ops (a node died mid-broadcast).
         let expired: Vec<u64> = self

@@ -297,7 +297,7 @@ impl Node {
             Scheme::Rep { r } if self.opts.sync_replication => r.saturating_sub(1),
             _ => scheme.acks_to_commit(),
         };
-        let mut outstanding = std::collections::HashSet::new();
+        let mut outstanding = std::collections::BTreeSet::new();
         let mut msgs: Vec<(NodeId, Msg)> = Vec::new();
         for &t in &replicate_targets {
             msgs.push((
@@ -329,7 +329,7 @@ impl Node {
                     needed,
                     on_commit,
                     msgs,
-                    last_send: std::time::Instant::now(),
+                    last_send: ring_net::clock::now(),
                     retries: 0,
                 },
             );
@@ -937,6 +937,7 @@ impl Node {
                         .count();
                     row.coord_meta_bytes = c.meta.approx_bytes();
                     row.data_bytes = match &c.store {
+                        // ring-lint: allow(hashmap-iteration) -- order-insensitive byte sum
                         CoordStore::Rep { values } => values.values().map(|v| v.len()).sum(),
                         CoordStore::Srs { heap, .. } => heap.len(),
                     };
@@ -948,6 +949,7 @@ impl Node {
                     row.redundant_meta_entries = r.meta.len();
                     match &r.store {
                         RS::Rep { values } => {
+                            // ring-lint: allow(hashmap-iteration) -- order-insensitive byte sum
                             row.replica_bytes = values.values().map(|v| v.len()).sum();
                         }
                         RS::Parity { len, .. } => row.parity_bytes = *len,

@@ -11,7 +11,7 @@ mod coord;
 mod recovery;
 mod redundant;
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use ring_net::NodeId;
@@ -112,7 +112,7 @@ pub(crate) enum OnCommit {
 #[derive(Debug)]
 pub(crate) struct PendingPut {
     /// Nodes whose ack has not arrived yet.
-    pub outstanding: HashSet<NodeId>,
+    pub outstanding: BTreeSet<NodeId>,
     /// Acks still required before commit (quorum for Rep, all for SRS).
     pub needed: usize,
     /// Completion action.
@@ -153,7 +153,7 @@ pub(crate) struct RebuildInfo {
 #[derive(Debug)]
 pub(crate) struct RebuildState {
     /// Coordinator shards that have answered `ParityRebuildInfo`.
-    pub infos: HashMap<usize, RebuildInfo>,
+    pub infos: BTreeMap<usize, RebuildInfo>,
     /// Shards expected to answer.
     pub expected: usize,
     /// Last time `ParityRebuildStart` was (re)broadcast to unanswered
@@ -181,13 +181,13 @@ pub(crate) struct GroupState {
     /// The volatile hashtable (coordinators only).
     pub volatile: VolatileTable,
     /// Coordinator-side memgest state.
-    pub coord: HashMap<MemgestId, CoordMemgest>,
+    pub coord: BTreeMap<MemgestId, CoordMemgest>,
     /// Redundant-side memgest state (replica copies / parity heaps).
     /// Coordinators also carry replica stores here for `Rep(r)` with
     /// `r > d + 1`, where copies spill onto other coordinators.
-    pub redundant: HashMap<MemgestId, RedundantMemgest>,
+    pub redundant: BTreeMap<MemgestId, RedundantMemgest>,
     /// Puts postponed per memgest during parity rebuild.
-    pub stalled: HashMap<MemgestId, Vec<StalledPut>>,
+    pub stalled: BTreeMap<MemgestId, Vec<StalledPut>>,
 }
 
 /// A Ring server node.
@@ -197,18 +197,18 @@ pub struct Node {
     pub(crate) config: ClusterConfig,
     pub(crate) catalog: BTreeMap<MemgestId, MemgestDescriptor>,
     pub(crate) default_memgest: MemgestId,
-    pub(crate) groups: HashMap<GroupId, GroupState>,
-    pub(crate) pending: HashMap<PendingKey, PendingPut>,
+    pub(crate) groups: BTreeMap<GroupId, GroupState>,
+    pub(crate) pending: BTreeMap<PendingKey, PendingPut>,
     /// At-most-once table for client writes, keyed by `(client, req)`.
-    pub(crate) dedup: HashMap<(NodeId, ReqId), Dedup>,
+    pub(crate) dedup: BTreeMap<(NodeId, ReqId), Dedup>,
     /// Completion order of settled dedup entries, for pruning.
     pub(crate) dedup_order: VecDeque<(NodeId, ReqId)>,
     /// Outstanding metadata fetches while assuming a new role; requests
     /// are ignored until this drains (clients retry).
     pub(crate) recovering: usize,
-    pub(crate) rebuilds: HashMap<(GroupId, MemgestId), RebuildState>,
+    pub(crate) rebuilds: BTreeMap<(GroupId, MemgestId), RebuildState>,
     /// Outstanding metadata fetches keyed by `(group, memgest, shard)`.
-    pub(crate) fetches: HashMap<(GroupId, MemgestId, usize), PendingFetch>,
+    pub(crate) fetches: BTreeMap<(GroupId, MemgestId, usize), PendingFetch>,
     /// Cumulative operation counters for introspection.
     pub(crate) ops: crate::stats::OpCounters,
     pub(crate) opts: NodeOptions,
@@ -228,16 +228,16 @@ impl Node {
             config,
             catalog,
             default_memgest: opts.default_memgest,
-            groups: HashMap::new(),
-            pending: HashMap::new(),
-            dedup: HashMap::new(),
+            groups: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            dedup: BTreeMap::new(),
             dedup_order: VecDeque::new(),
             recovering: 0,
-            rebuilds: HashMap::new(),
-            fetches: HashMap::new(),
+            rebuilds: BTreeMap::new(),
+            fetches: BTreeMap::new(),
             ops: crate::stats::OpCounters::default(),
             opts,
-            last_heartbeat: Instant::now(),
+            last_heartbeat: ring_net::clock::now(),
             active: false,
         };
         node.active = node.config.nodes.contains(&node.id);
@@ -260,7 +260,7 @@ impl Node {
     }
 
     fn tick(&mut self) {
-        let now = Instant::now();
+        let now = ring_net::clock::now();
         if now.duration_since(self.last_heartbeat) >= self.opts.heartbeat_interval {
             self.last_heartbeat = now;
             let _ = self.ep.send(LEADER_NODE, Msg::Heartbeat);
@@ -499,7 +499,7 @@ impl Node {
         if gs.shard.is_some() && !gs.coord.contains_key(&id) {
             let store = match desc.scheme {
                 Scheme::Rep { .. } => CoordStore::Rep {
-                    values: HashMap::new(),
+                    values: std::collections::HashMap::new(),
                 },
                 Scheme::Srs { k, m } => {
                     let code =
@@ -551,7 +551,7 @@ impl Node {
                 }
             } else {
                 RedundantStore::Rep {
-                    values: HashMap::new(),
+                    values: std::collections::HashMap::new(),
                 }
             };
             gs.redundant.insert(

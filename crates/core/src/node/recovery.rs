@@ -164,7 +164,7 @@ impl Node {
                                     RebuildState {
                                         infos: Default::default(),
                                         expected: self.config.s,
-                                        sent_at: std::time::Instant::now(),
+                                        sent_at: ring_net::clock::now(),
                                     },
                                 );
                                 for shard in 0..self.config.s {
@@ -203,7 +203,7 @@ impl Node {
             super::PendingFetch {
                 targets,
                 next_idx: 1,
-                sent_at: std::time::Instant::now(),
+                sent_at: ring_net::clock::now(),
             },
         );
         let _ = self.ep.send(

@@ -452,6 +452,9 @@ impl WireSize for Msg {
                     entries, values, ..
                 } => {
                     16 + entries.len() * META_ENTRY_SIZE
+                        // This `values` is a Vec; the name collides with the
+                        // Rep store's HashMap field in node/coord.rs.
+                        // ring-lint: allow(hashmap-iteration)
                         + values
                             .iter()
                             .map(|v| v.as_ref().map(|b| b.len()).unwrap_or(0))

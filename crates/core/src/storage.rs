@@ -89,7 +89,7 @@ impl ObjectEntry {
 /// The per-memgest metadata hashtable: `(key, version) -> entry`.
 #[derive(Debug, Default)]
 pub struct MetaTable {
-    map: HashMap<Key, BTreeMap<Version, ObjectEntry>>,
+    map: BTreeMap<Key, BTreeMap<Version, ObjectEntry>>,
 }
 
 impl MetaTable {
@@ -177,7 +177,7 @@ impl MetaTable {
 /// highest (needed for version assignment).
 #[derive(Debug, Default)]
 pub struct VolatileTable {
-    map: HashMap<Key, Vec<(Version, MemgestId)>>,
+    index: HashMap<Key, Vec<(Version, MemgestId)>>,
 }
 
 impl VolatileTable {
@@ -188,7 +188,7 @@ impl VolatileTable {
 
     /// Records a `(version, memgest)` instance for a key (idempotent).
     pub fn record(&mut self, key: Key, version: Version, memgest: MemgestId) {
-        let list = self.map.entry(key).or_default();
+        let list = self.index.entry(key).or_default();
         match list.binary_search_by(|(v, _)| version.cmp(v)) {
             Ok(pos) => list[pos] = (version, memgest),
             Err(pos) => list.insert(pos, (version, memgest)),
@@ -197,42 +197,42 @@ impl VolatileTable {
 
     /// The highest version of a key and the memgest holding it.
     pub fn highest(&self, key: Key) -> Option<(Version, MemgestId)> {
-        self.map.get(&key)?.first().copied()
+        self.index.get(&key)?.first().copied()
     }
 
     /// Removes one version of a key.
     pub fn remove(&mut self, key: Key, version: Version) {
-        if let Some(list) = self.map.get_mut(&key) {
+        if let Some(list) = self.index.get_mut(&key) {
             list.retain(|&(v, _)| v != version);
             if list.is_empty() {
-                self.map.remove(&key);
+                self.index.remove(&key);
             }
         }
     }
 
     /// Removes every version strictly below `below`.
     pub fn remove_below(&mut self, key: Key, below: Version) {
-        if let Some(list) = self.map.get_mut(&key) {
+        if let Some(list) = self.index.get_mut(&key) {
             list.retain(|&(v, _)| v >= below);
             if list.is_empty() {
-                self.map.remove(&key);
+                self.index.remove(&key);
             }
         }
     }
 
     /// All versions currently known for a key, newest first.
     pub fn versions(&self, key: Key) -> &[(Version, MemgestId)] {
-        self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+        self.index.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Number of keys.
     pub fn keys(&self) -> usize {
-        self.map.len()
+        self.index.len()
     }
 
     /// Clears the table (used before a rebuild).
     pub fn clear(&mut self) {
-        self.map.clear();
+        self.index.clear();
     }
 }
 

@@ -1,0 +1,40 @@
+//! The fabric clock: the one sanctioned source of ambient time.
+//!
+//! Everything in the deterministic simulation paths (`ring-net`,
+//! `ring-chaos`, `ring-core` node code) that needs to know "what time is
+//! it" must ask this module instead of calling `std::time::Instant::now`
+//! directly. Two things are bought by the indirection:
+//!
+//! 1. **Auditability.** `ring-lint` (crates/verify) bans ambient-time
+//!    calls in those crates, so every time source is either this module
+//!    or an explicitly documented `// ring-lint: allow(ambient-time)`
+//!    site. A stray `Instant::now()` in protocol code — the classic way
+//!    a "deterministic" simulation quietly stops being one — fails CI.
+//! 2. **A seam.** The latency model injects *delays* relative to the
+//!    clock; routing every read through one function is the prerequisite
+//!    for swapping in a virtual (discrete-event) clock later without
+//!    touching protocol code.
+//!
+//! The clock intentionally exposes only monotonic time. Wall-clock time
+//! (`SystemTime`) has no legitimate consumer in the simulation: it can
+//! jump, and nothing in the protocol may depend on it.
+
+use std::time::{Duration, Instant};
+
+/// The current instant on the fabric clock.
+///
+/// This is the single place in the deterministic-path crates where
+/// ambient monotonic time enters the system.
+#[inline]
+pub fn now() -> Instant {
+    Instant::now() // ring-lint: allow(ambient-time) -- the sanctioned source
+}
+
+/// `now() + d`, saturating like `Instant::checked_add` would allow.
+///
+/// Convenience for the overwhelmingly common "deadline = now + timeout"
+/// pattern so call sites stay one expression.
+#[inline]
+pub fn deadline_in(d: Duration) -> Instant {
+    now() + d
+}

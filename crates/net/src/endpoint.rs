@@ -1,7 +1,7 @@
 //! A node's handle to the fabric.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::fabric::{FabricInner, NodeSlot};
 use crate::fault::FaultAction;
@@ -212,7 +212,7 @@ impl<M: Send + WireSize + Clone> Endpoint<M> {
             None => FaultAction::Deliver,
         };
         let wire = self.fabric.latency.delay(bytes);
-        let now = Instant::now();
+        let now = crate::clock::now();
         match action {
             FaultAction::Deliver => slot.mailbox.push(self.id, msg, now + wire),
             FaultAction::Drop => {}
@@ -243,6 +243,7 @@ impl<M: Send + WireSize + Clone> Endpoint<M> {
 mod tests {
     use super::*;
     use crate::{Fabric, LatencyModel};
+    use std::time::Instant;
 
     #[derive(Debug, Clone, PartialEq)]
     struct Msg(Vec<u8>);

@@ -1,8 +1,7 @@
 //! The fabric: node registry, delivery, failure injection.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Instant;
 
 use parking_lot::RwLock;
 
@@ -19,7 +18,7 @@ pub(crate) struct NodeSlot<M> {
 
 pub(crate) struct FabricInner<M> {
     pub(crate) latency: LatencyModel,
-    pub(crate) nodes: RwLock<HashMap<NodeId, Arc<NodeSlot<M>>>>,
+    pub(crate) nodes: RwLock<BTreeMap<NodeId, Arc<NodeSlot<M>>>>,
     pub(crate) down_links: RwLock<HashSet<(NodeId, NodeId)>>,
     pub(crate) injector: RwLock<Option<Arc<dyn FaultInjector>>>,
 }
@@ -56,7 +55,7 @@ impl<M: Send + WireSize> Fabric<M> {
         Fabric {
             inner: Arc::new(FabricInner {
                 latency,
-                nodes: RwLock::new(HashMap::new()),
+                nodes: RwLock::new(BTreeMap::new()),
                 down_links: RwLock::new(HashSet::new()),
                 injector: RwLock::new(None),
             }),
@@ -163,7 +162,7 @@ impl<M: Send + WireSize> Fabric<M> {
     pub fn inject(&self, from: NodeId, to: NodeId, msg: M) -> Result<(), NetError> {
         let slot = self.inner.slot(to).ok_or(NetError::Unreachable(to))?;
         let delay = self.inner.latency.delay(msg.wire_size());
-        slot.mailbox.push(from, msg, Instant::now() + delay);
+        slot.mailbox.push(from, msg, crate::clock::now() + delay);
         Ok(())
     }
 }

@@ -1,6 +1,6 @@
 //! Latency models for the simulated fabric.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Threshold below which delays spin instead of sleeping: `thread::sleep`
 /// on Linux has tens-of-microseconds granularity, far coarser than an
@@ -78,12 +78,12 @@ pub fn spin_wait(d: Duration) {
     if d.is_zero() {
         return;
     }
-    let deadline = Instant::now() + d;
+    let deadline = crate::clock::now() + d;
     if d > SPIN_THRESHOLD {
         // Sleep for the bulk, spin the remainder.
         std::thread::sleep(d - SPIN_THRESHOLD);
     }
-    while Instant::now() < deadline {
+    while crate::clock::now() < deadline {
         std::hint::spin_loop();
     }
 }
@@ -91,6 +91,7 @@ pub fn spin_wait(d: Duration) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn delay_scales_with_bytes() {

@@ -41,6 +41,7 @@
 //! assert_eq!((from, msg), (0, Ping(42)));
 //! ```
 
+pub mod clock;
 mod endpoint;
 mod error;
 mod fabric;

@@ -95,13 +95,13 @@ impl<M> Mailbox<M> {
 
     /// Blocking receive with an optional deadline.
     pub(crate) fn recv(&self, timeout: Option<Duration>) -> Result<(NodeId, M), NetError> {
-        let deadline = timeout.map(|t| Instant::now() + t);
+        let deadline = timeout.map(|t| crate::clock::now() + t);
         let mut heap = self.heap.lock();
         loop {
             if self.closed.load(AtomicOrdering::Acquire) {
                 return Err(NetError::Closed);
             }
-            let now = Instant::now();
+            let now = crate::clock::now();
             if let Some(head) = heap.peek() {
                 if head.deliver_at <= now {
                     let p = heap.pop().expect("peeked");
@@ -118,7 +118,7 @@ impl<M> Mailbox<M> {
                     && Some(wait_until) == deadline
                     && heap
                         .peek()
-                        .map(|h| h.deliver_at > Instant::now())
+                        .map(|h| h.deliver_at > crate::clock::now())
                         .unwrap_or(true)
                 {
                     return Err(NetError::Timeout);
@@ -145,7 +145,7 @@ impl<M> Mailbox<M> {
         }
         let mut heap = self.heap.lock();
         if let Some(head) = heap.peek() {
-            if head.deliver_at <= Instant::now() {
+            if head.deliver_at <= crate::clock::now() {
                 let p = heap.pop().expect("peeked");
                 self.count.store(heap.len(), AtomicOrdering::Relaxed);
                 return Ok(Some((p.from, p.msg)));

@@ -1,0 +1,418 @@
+//! A minimal Rust lexer, just enough for `ring-lint`.
+//!
+//! The container this repo builds in has no crate registry, so a
+//! `syn`-based linter is off the table; the rules we enforce are
+//! token-shaped anyway (forbidden call paths, guard-scope tracking by
+//! brace depth), so a hand-rolled lexer that gets comments, strings,
+//! raw strings, char-vs-lifetime and nesting right is sufficient and
+//! keeps the verify layer dependency-free.
+//!
+//! The lexer also extracts `ring-lint` control comments:
+//!
+//! - `// ring-lint: allow(rule-a, rule-b)` suppresses findings for the
+//!   named rules on the comment's own line *and* the following line
+//!   (so both trailing and preceding-line placement work).
+//! - `// ring-lint: allow-file(rule)` suppresses a rule for the whole
+//!   file.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// A string, char, byte or numeric literal (contents dropped).
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// What was lexed.
+    pub kind: TokenKind,
+}
+
+/// Lexed file: token stream plus lint-control annotations.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The tokens in source order.
+    pub tokens: Vec<Token>,
+    /// line -> rules allowed on that line (directives cover their own
+    /// line and the next).
+    pub allows: BTreeMap<u32, BTreeSet<String>>,
+    /// Rules allowed for the entire file.
+    pub file_allows: BTreeSet<String>,
+}
+
+impl Lexed {
+    /// True if `rule` is suppressed at `line`.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        if self.file_allows.contains(rule) {
+            return true;
+        }
+        self.allows
+            .get(&line)
+            .is_some_and(|rules| rules.contains(rule))
+    }
+}
+
+/// Lexes `src` into tokens and lint-control annotations.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.bytes().filter(|&b| b == b'\n').count() as u32
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments).
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            let end = src[i..].find('\n').map(|p| i + p).unwrap_or(bytes.len());
+            record_directive(&mut out, &src[i..end], line);
+            i = end;
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let start_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < bytes.len() && depth > 0 {
+                if bytes[j] == b'\n' {
+                    line += 1;
+                    j += 1;
+                } else if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            record_directive(&mut out, &src[i..j.min(bytes.len())], start_line);
+            i = j;
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# etc.
+        if (c == 'r' || c == 'b') && raw_string_len(&src[i..]).is_some() {
+            let len = raw_string_len(&src[i..]).expect("checked");
+            bump_lines!(&src[i..i + len]);
+            out.tokens.push(Token {
+                line,
+                kind: TokenKind::Literal,
+            });
+            i += len;
+            continue;
+        }
+        // Identifier / keyword (also eats the `b` of b"..." handled above).
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let d = bytes[j] as char;
+                if d.is_alphanumeric() || d == '_' {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            // A string immediately after `b` is a byte string literal.
+            if &src[i..j] == "b" && j < bytes.len() && bytes[j] == b'"' {
+                let len = cooked_string_len(&src[j..]);
+                bump_lines!(&src[j..j + len]);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+                i = j + len;
+                continue;
+            }
+            out.tokens.push(Token {
+                line,
+                kind: TokenKind::Ident(src[i..j].to_string()),
+            });
+            i = j;
+            continue;
+        }
+        // Number literal (decimal/hex/oct/bin, underscores, suffixes).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let d = bytes[j] as char;
+                if d.is_alphanumeric() || d == '_' || d == '.' {
+                    // `0..10` range: stop before the second dot.
+                    if d == '.' && j + 1 < bytes.len() && bytes[j + 1] == b'.' {
+                        break;
+                    }
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                line,
+                kind: TokenKind::Literal,
+            });
+            i = j;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let len = cooked_string_len(&src[i..]);
+            bump_lines!(&src[i..i + len]);
+            out.tokens.push(Token {
+                line,
+                kind: TokenKind::Literal,
+            });
+            i += len;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if let Some(len) = char_literal_len(&src[i..]) {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Literal,
+                });
+                i += len;
+            } else {
+                // Lifetime: consume the ident after the quote.
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Lifetime,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // Everything else: single punctuation char.
+        out.tokens.push(Token {
+            line,
+            kind: TokenKind::Punct(c),
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Records `ring-lint: allow(...)` / `allow-file(...)` directives found
+/// in a comment starting at `line`.
+fn record_directive(out: &mut Lexed, comment: &str, line: u32) {
+    let Some(pos) = comment.find("ring-lint:") else {
+        return;
+    };
+    let rest = comment[pos + "ring-lint:".len()..].trim_start();
+    let (file_wide, args) = if let Some(r) = rest.strip_prefix("allow-file(") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow(") {
+        (false, r)
+    } else {
+        return;
+    };
+    let Some(close) = args.find(')') else {
+        return;
+    };
+    for rule in args[..close].split(',') {
+        let rule = rule.trim().to_string();
+        if rule.is_empty() {
+            continue;
+        }
+        if file_wide {
+            out.file_allows.insert(rule);
+        } else {
+            out.allows.entry(line).or_default().insert(rule.clone());
+            out.allows.entry(line + 1).or_default().insert(rule);
+        }
+    }
+}
+
+/// Byte length of a cooked string literal starting at `"`, including
+/// both quotes. Handles escapes; unterminated strings run to EOF.
+fn cooked_string_len(s: &str) -> usize {
+    let b = s.as_bytes();
+    debug_assert_eq!(b[0], b'"');
+    let mut j = 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Byte length of a raw (byte) string starting at `r`/`br`, or None if
+/// this is not one.
+fn raw_string_len(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut j = 0;
+    if b.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if b.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None;
+    }
+    j += 1;
+    let closer: String = std::iter::once('"')
+        .chain(std::iter::repeat_n('#', hashes))
+        .collect();
+    match s[j..].find(&closer) {
+        Some(p) => Some(j + p + closer.len()),
+        None => Some(s.len()),
+    }
+}
+
+/// Byte length of a char literal starting at `'`, or None if it is a
+/// lifetime instead.
+fn char_literal_len(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    debug_assert_eq!(b[0], b'\'');
+    if b.len() < 2 {
+        return None;
+    }
+    if b[1] == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = 2;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(b.len());
+    }
+    // `'x'` is a char literal; `'x` followed by anything else is a
+    // lifetime. Multi-byte chars: find the closing quote within 6 bytes.
+    for (j, &byte) in b.iter().enumerate().take(6).skip(2) {
+        if byte == b'\'' {
+            return Some(j + 1);
+        }
+        if byte == b'\n' {
+            break;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_tokenize() {
+        let src = r##"
+            // Instant::now in a comment
+            /* SystemTime::now in /* a nested */ block */
+            let s = "Instant::now()";
+            let r = r#"thread_rng"#;
+            call();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(!ids.contains(&"thread_rng".to_string()));
+        assert!(ids.contains(&"call".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let src = "x();\n// ring-lint: allow(ambient-time)\ny();\nz();\n";
+        let lexed = lex(src);
+        assert!(lexed.allowed("ambient-time", 2));
+        assert!(lexed.allowed("ambient-time", 3));
+        assert!(!lexed.allowed("ambient-time", 4));
+        assert!(!lexed.allowed("other-rule", 3));
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let lexed = lex("// ring-lint: allow-file(relaxed-ordering)\nfoo();\n");
+        assert!(lexed.allowed("relaxed-ordering", 999));
+    }
+
+    #[test]
+    fn multiple_rules_in_one_directive() {
+        let lexed = lex("f(); // ring-lint: allow(a-rule, b-rule)\n");
+        assert!(lexed.allowed("a-rule", 1));
+        assert!(lexed.allowed("b-rule", 1));
+    }
+}

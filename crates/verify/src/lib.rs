@@ -1,0 +1,245 @@
+//! Static analysis for the Ring workspace.
+//!
+//! `ring-verify` packages the repo's verification tooling:
+//!
+//! - **`ring-lint`** (this library + the `ring-lint` binary): a
+//!   token-level linter enforcing protocol invariants that `rustc` and
+//!   clippy cannot see — deterministic paths must not read ambient time
+//!   or entropy, lock guards must not be held across fabric sends,
+//!   `Ordering::Relaxed` must be justified in an allowlist, and hash
+//!   tables must not be iterated where ordering feeds protocol
+//!   decisions. See [`rules`] for each rule's rationale.
+//! - **loom models** (`tests/loom.rs`, compiled under
+//!   `RUSTFLAGS="--cfg loom"`): schedule-exploration models of the
+//!   Mailbox length mirror, Payload sharing, and the coordinator's
+//!   commit-flag publish/observe pair.
+//! - **Sanitizer wiring**: Miri and TSan CI jobs (see
+//!   `.github/workflows/sanitizers.yml`) with suppressions under
+//!   `crates/verify/suppressions/`.
+//!
+//! Findings are suppressed per-line with `// ring-lint: allow(<rule>)`
+//! on the offending line or the line above, or file-wide with
+//! `// ring-lint: allow-file(<rule>)`.
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+pub use rules::Diagnostic;
+
+/// Default workspace-relative location of the relaxed-ordering
+/// allowlist.
+pub const RELAXED_ALLOWLIST: &str = "crates/verify/relaxed_allowlist.txt";
+
+/// A linting run over a set of files.
+pub struct Workspace {
+    root: PathBuf,
+    /// Workspace-relative paths of files to lint.
+    files: Vec<String>,
+    relaxed_allowlist: BTreeSet<String>,
+    /// Override: treat all files as deterministic-path (fixture mode).
+    force_deterministic: Option<bool>,
+}
+
+impl Workspace {
+    /// Discovers the standard lint surface under `root`: every `.rs`
+    /// file in `crates/*/src` and the repo-level `src/` if present.
+    /// Shims (`shims/*`) are vendored stand-ins and are exempt; test
+    /// trees (`tests/`, `benches/`) are exempt — the invariants guard
+    /// production protocol paths.
+    pub fn discover(root: &Path) -> std::io::Result<Self> {
+        let mut files = Vec::new();
+        let crates = root.join("crates");
+        if crates.is_dir() {
+            let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.is_dir())
+                .collect();
+            crate_dirs.sort();
+            for dir in crate_dirs {
+                collect_rs(&dir.join("src"), root, &mut files)?;
+            }
+        }
+        collect_rs(&root.join("src"), root, &mut files)?;
+        files.sort();
+        let allowlist_path = root.join(RELAXED_ALLOWLIST);
+        let relaxed_allowlist = if allowlist_path.is_file() {
+            rules::load_relaxed_allowlist(&allowlist_path)?
+        } else {
+            BTreeSet::new()
+        };
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+            relaxed_allowlist,
+            force_deterministic: None,
+        })
+    }
+
+    /// A run over explicitly listed files (fixture/test mode). Paths
+    /// are kept as given; `deterministic` overrides path-based scoping.
+    pub fn explicit(
+        root: &Path,
+        files: Vec<String>,
+        deterministic: bool,
+        allowlist: BTreeSet<String>,
+    ) -> Self {
+        Workspace {
+            root: root.to_path_buf(),
+            files,
+            relaxed_allowlist: allowlist,
+            force_deterministic: Some(deterministic),
+        }
+    }
+
+    /// The files this run will lint (workspace-relative).
+    pub fn files(&self) -> &[String] {
+        &self.files
+    }
+
+    /// Runs every rule over every file. Diagnostics come back sorted by
+    /// (file, line, rule).
+    pub fn lint(&self) -> std::io::Result<Vec<Diagnostic>> {
+        // Pass 1: lex everything once, collecting hash-typed names per
+        // crate so `self.field` iteration is caught across modules.
+        let mut lexed_files = Vec::with_capacity(self.files.len());
+        for rel in &self.files {
+            let src = std::fs::read_to_string(self.root.join(rel))?;
+            lexed_files.push((rel.clone(), lexer::lex(&src)));
+        }
+        let mut crate_hash_names: std::collections::BTreeMap<String, BTreeSet<String>> =
+            std::collections::BTreeMap::new();
+        for (rel, lexed) in &lexed_files {
+            crate_hash_names
+                .entry(crate_of(rel))
+                .or_default()
+                .extend(rules::collect_hash_names(lexed));
+        }
+
+        // Pass 2: run the rules.
+        let mut out = Vec::new();
+        let empty = BTreeSet::new();
+        for (rel, lexed) in &lexed_files {
+            let deterministic = self
+                .force_deterministic
+                .unwrap_or_else(|| rules::is_deterministic_path(rel));
+            let ctx = rules::FileContext {
+                rel_path: rel,
+                lexed,
+                deterministic,
+                relaxed_allowlisted: self.relaxed_allowlist.contains(rel),
+                hash_names: crate_hash_names.get(&crate_of(rel)).unwrap_or(&empty),
+            };
+            out.extend(rules::lint_file(&ctx));
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Crate key for grouping files (`crates/net/src/x.rs` → `crates/net`).
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => format!("crates/{name}"),
+        _ => String::new(),
+    }
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("path under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Renders diagnostics as a JSON array (machine-readable output for
+/// `ring-lint --json`). Hand-rolled: the only values needing escapes
+/// are our own messages (quotes and backslashes).
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file),
+            d.line,
+            d.rule,
+            json_escape(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_extracts_crate_dir() {
+        assert_eq!(crate_of("crates/net/src/lib.rs"), "crates/net");
+        assert_eq!(crate_of("crates/core/src/node/mod.rs"), "crates/core");
+        assert_eq!(crate_of("src/main.rs"), "");
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let d = Diagnostic {
+            file: "a.rs".into(),
+            line: 3,
+            rule: rules::AMBIENT_TIME,
+            message: "say \"no\"\nplease".into(),
+        };
+        let j = to_json(&[d]);
+        assert!(j.contains("\\\"no\\\""), "{j}");
+        assert!(j.contains("\\n"), "{j}");
+    }
+
+    #[test]
+    fn empty_diags_is_empty_array() {
+        assert_eq!(to_json(&[]), "[]\n");
+    }
+}

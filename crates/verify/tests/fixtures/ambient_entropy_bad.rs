@@ -1,0 +1,11 @@
+// Fixture: ambient-entropy positive case.
+use rand::thread_rng;
+
+fn roll() -> u32 {
+    let mut rng = thread_rng(); // line 5: flagged
+    rng.gen_range(0..6)
+}
+
+fn seed() -> u64 {
+    rand::rngs::OsRng.next_u64() // line 10: flagged (path position)
+}

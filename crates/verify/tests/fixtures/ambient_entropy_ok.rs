@@ -1,0 +1,11 @@
+// Fixture: ambient-entropy negative case — seeded from the cluster
+// spec, as every deterministic path must be.
+use rand::{rngs::SmallRng, SeedableRng};
+
+fn roll(spec_seed: u64) -> u32 {
+    let mut rng = SmallRng::seed_from_u64(spec_seed);
+    rng.gen_range(0..6)
+}
+
+// An identifier merely containing a forbidden name is not a use.
+fn thread_rng_audit_note() {}

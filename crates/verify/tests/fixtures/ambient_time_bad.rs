@@ -1,0 +1,11 @@
+// Fixture: ambient-time positive case. Line numbers are asserted by
+// tests/lint_fixtures.rs — keep the offending lines where they are.
+use std::time::{Instant, SystemTime};
+
+fn deadline() -> Instant {
+    Instant::now() // line 6: flagged
+}
+
+fn wall() -> SystemTime {
+    SystemTime::now() // line 10: flagged
+}

@@ -1,0 +1,22 @@
+// Fixture: ambient-time negative case — routed through the fabric
+// clock, one sanctioned site with an allow directive, and a mention
+// inside a test module.
+use std::time::Instant;
+
+fn deadline() -> Instant {
+    ring_net::clock::now()
+}
+
+fn sanctioned() -> Instant {
+    Instant::now() // ring-lint: allow(ambient-time) -- fixture's clock seam
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = Instant::now();
+    }
+}

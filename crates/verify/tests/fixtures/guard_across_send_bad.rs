@@ -1,0 +1,11 @@
+// Fixture: guard-across-send positive case — a lock guard held while
+// the endpoint sends.
+fn relay(state: &std::sync::Mutex<Vec<u8>>, ep: &Endpoint) {
+    let guard = state.lock().unwrap();
+    ep.send(1, guard.clone()); // line 5: flagged (guard from line 4 live)
+}
+
+fn relay_rw(state: &std::sync::RwLock<Vec<u8>>, ep: &Endpoint) {
+    let snapshot = state.read().expect("poisoned");
+    ep.multicast(&[1, 2], snapshot.clone()); // line 10: flagged
+}

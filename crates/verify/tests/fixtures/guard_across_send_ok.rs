@@ -1,0 +1,16 @@
+// Fixture: guard-across-send negative case — copy out under the lock,
+// drop the guard, then send.
+fn relay(state: &std::sync::Mutex<Vec<u8>>, ep: &Endpoint) {
+    let guard = state.lock().unwrap();
+    let copy = guard.clone();
+    drop(guard);
+    ep.send(1, copy);
+}
+
+fn relay_scoped(state: &std::sync::Mutex<Vec<u8>>, ep: &Endpoint) {
+    let copy = {
+        let guard = state.lock().unwrap();
+        guard.clone()
+    };
+    ep.send(1, copy);
+}

@@ -1,0 +1,21 @@
+// Fixture: hashmap-iteration positive case — iterating a HashMap
+// field and a HashMap local in a (forced) deterministic path.
+use std::collections::HashMap;
+
+struct Table {
+    entries: HashMap<u64, Vec<u8>>,
+}
+
+impl Table {
+    fn retransmit_order(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect() // line 11: flagged
+    }
+}
+
+fn drain_all() {
+    let mut pending = HashMap::new();
+    pending.insert(1u32, 2u32);
+    for (k, v) in &pending { // line 18: flagged
+        let _ = (k, v);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: hashmap-iteration negative case — ordered maps iterate
+// deterministically, and point lookups on a HashMap are fine.
+use std::collections::{BTreeMap, HashMap};
+
+struct Table {
+    entries: BTreeMap<u64, Vec<u8>>,
+    index: HashMap<u64, usize>,
+}
+
+impl Table {
+    fn retransmit_order(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+
+    fn lookup(&self, k: u64) -> Option<usize> {
+        self.index.get(&k).copied()
+    }
+}

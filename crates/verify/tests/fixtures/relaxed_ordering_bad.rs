@@ -1,0 +1,7 @@
+// Fixture: relaxed-ordering positive case — this file is NOT on the
+// fixture allowlist.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn publish(flag: &AtomicBool) {
+    flag.store(true, Ordering::Relaxed); // line 6: flagged
+}

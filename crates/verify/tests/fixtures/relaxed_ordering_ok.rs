@@ -1,0 +1,8 @@
+// Fixture: relaxed-ordering negative case — this file IS on the
+// fixture allowlist (tests/fixtures/allowlist.txt), standing in for a
+// documented monotonic counter.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tally(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,162 @@
+//! Fixture tests for ring-lint: one positive and one negative case per
+//! rule, asserting the exact (file, line, rule) of every diagnostic.
+//!
+//! Each fixture is linted in its own run so the cross-module hash-name
+//! collection of one fixture cannot leak into another (fixture paths
+//! all map to the same crate key).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use ring_verify::{rules, Workspace};
+
+/// Lints one fixture as deterministic-path code and returns
+/// `(line, rule)` pairs, asserting every diagnostic names the fixture.
+fn lint_fixture(name: &str, allowlist: Option<&str>) -> Vec<(u32, &'static str)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let rel = format!("tests/fixtures/{name}");
+    let allow = match allowlist {
+        Some(a) => rules::load_relaxed_allowlist(&root.join("tests/fixtures").join(a))
+            .expect("fixture allowlist readable"),
+        None => BTreeSet::new(),
+    };
+    let ws = Workspace::explicit(root, vec![rel.clone()], true, allow);
+    let diags = ws.lint().expect("fixture readable");
+    for d in &diags {
+        assert_eq!(d.file, rel, "diagnostic names the linted file");
+    }
+    diags.into_iter().map(|d| (d.line, d.rule)).collect()
+}
+
+#[test]
+fn ambient_time_positive() {
+    assert_eq!(
+        lint_fixture("ambient_time_bad.rs", None),
+        vec![(6, rules::AMBIENT_TIME), (10, rules::AMBIENT_TIME)]
+    );
+}
+
+#[test]
+fn ambient_time_negative() {
+    // Fabric clock, an allow-directive site, and a #[cfg(test)] module
+    // all pass.
+    assert_eq!(lint_fixture("ambient_time_ok.rs", None), vec![]);
+}
+
+#[test]
+fn ambient_entropy_positive() {
+    // The `use` of thread_rng is itself a violation (line 2), as are
+    // the call (line 5) and the OsRng path expression (line 10).
+    assert_eq!(
+        lint_fixture("ambient_entropy_bad.rs", None),
+        vec![
+            (2, rules::AMBIENT_ENTROPY),
+            (5, rules::AMBIENT_ENTROPY),
+            (10, rules::AMBIENT_ENTROPY)
+        ]
+    );
+}
+
+#[test]
+fn ambient_entropy_negative() {
+    assert_eq!(lint_fixture("ambient_entropy_ok.rs", None), vec![]);
+}
+
+#[test]
+fn guard_across_send_positive() {
+    assert_eq!(
+        lint_fixture("guard_across_send_bad.rs", None),
+        vec![
+            (5, rules::GUARD_ACROSS_SEND),
+            (10, rules::GUARD_ACROSS_SEND)
+        ]
+    );
+}
+
+#[test]
+fn guard_across_send_negative() {
+    // drop() before send and a block-scoped guard both pass.
+    assert_eq!(lint_fixture("guard_across_send_ok.rs", None), vec![]);
+}
+
+#[test]
+fn relaxed_ordering_positive() {
+    assert_eq!(
+        lint_fixture("relaxed_ordering_bad.rs", None),
+        vec![(6, rules::RELAXED_ORDERING)]
+    );
+}
+
+#[test]
+fn relaxed_ordering_negative_via_allowlist() {
+    // On the allowlist: clean. Off the allowlist: the same file is a
+    // violation — proving the allowlist is what's doing the work.
+    assert_eq!(
+        lint_fixture("relaxed_ordering_ok.rs", Some("allowlist.txt")),
+        vec![]
+    );
+    assert_eq!(
+        lint_fixture("relaxed_ordering_ok.rs", None),
+        vec![(7, rules::RELAXED_ORDERING)]
+    );
+}
+
+#[test]
+fn hashmap_iteration_positive() {
+    assert_eq!(
+        lint_fixture("hashmap_iteration_bad.rs", None),
+        vec![
+            (11, rules::HASHMAP_ITERATION),
+            (18, rules::HASHMAP_ITERATION)
+        ]
+    );
+}
+
+#[test]
+fn hashmap_iteration_negative() {
+    // BTreeMap iteration and HashMap point lookups both pass.
+    assert_eq!(lint_fixture("hashmap_iteration_ok.rs", None), vec![]);
+}
+
+/// End-to-end through the binary: JSON output carries the same
+/// file/line/rule triples and the exit code signals findings.
+#[test]
+fn binary_reports_json_and_exit_code() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ring-lint"))
+        .current_dir(root)
+        .args([
+            "--det",
+            "--json",
+            "--root",
+            ".",
+            "tests/fixtures/ambient_time_bad.rs",
+        ])
+        .output()
+        .expect("ring-lint runs");
+    assert_eq!(out.status.code(), Some(1), "findings exit with code 1");
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        json.contains(
+            "{\"file\": \"tests/fixtures/ambient_time_bad.rs\", \"line\": 6, \
+             \"rule\": \"ambient-time\""
+        ),
+        "JSON names the first finding: {json}"
+    );
+    assert!(json.contains("\"line\": 10"), "JSON has the second finding");
+
+    // Clean fixture: exit 0, empty array.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ring-lint"))
+        .current_dir(root)
+        .args([
+            "--det",
+            "--json",
+            "--root",
+            ".",
+            "tests/fixtures/ambient_time_ok.rs",
+        ])
+        .output()
+        .expect("ring-lint runs");
+    assert_eq!(out.status.code(), Some(0), "clean run exits 0");
+    assert_eq!(String::from_utf8(out.stdout).expect("utf8"), "[]\n");
+}

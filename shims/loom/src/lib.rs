@@ -1,0 +1,322 @@
+//! Offline stand-in for the `loom` crate (API subset).
+//!
+//! The build environment has no access to crates.io, so this shim
+//! provides loom's surface — [`model`], `loom::thread`, `loom::sync`,
+//! `loom::sync::atomic`, `loom::hint` — implemented as **seeded stress
+//! testing** rather than exhaustive schedule exploration: [`model`]
+//! runs the closure many times (default 300, `LOOM_STRESS_ITERS` to
+//! override) over real OS threads, and every synchronization operation
+//! routed through these wrappers is a potential preemption point where
+//! the scheduler is randomly perturbed (yield or short sleep, driven by
+//! a splitmix64 stream seeded per iteration).
+//!
+//! **Honest limits versus real loom**: this shim does not enumerate all
+//! interleavings, cannot simulate weak-memory reorderings beyond what
+//! the host CPU exhibits, and has no `loom::cell::UnsafeCell` access
+//! tracking. It *does* shake out ordering bugs whose failure window is
+//! widened by forced preemption at sync points — lost wakeups, broken
+//! publish/observe pairs, double drops — and it keeps the models in
+//! `crates/verify/tests/loom.rs` source-compatible with real loom, so
+//! swapping in the genuine crate (when a registry is available) needs
+//! only a Cargo.toml change.
+
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+
+/// Per-process schedule-perturbation state. Seeded by [`model`] for
+/// each iteration; every wrapper op advances it.
+static SCHEDULE: AtomicU64 = AtomicU64::new(0x5249_4E47_4C4F_4F4D); // "RINGLOOM"
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Randomly perturbs the scheduler. Called before every operation on
+/// the wrapped sync primitives so thread interleavings vary between
+/// iterations far more than under an unperturbed OS scheduler.
+pub(crate) fn preemption_point() {
+    let x = SCHEDULE.fetch_add(0x9E37_79B9_7F4A_7C15, StdOrdering::Relaxed);
+    let z = splitmix(x);
+    match z % 16 {
+        0..=3 => std::thread::yield_now(),
+        4 => std::thread::sleep(std::time::Duration::from_micros(z >> 32 & 0x1F)),
+        _ => {}
+    }
+}
+
+/// Runs `f` repeatedly under schedule perturbation. Real loom explores
+/// interleavings exhaustively; this shim samples them. Panics inside
+/// `f` (including assertion failures on any spawned thread joined by
+/// `f`) propagate and fail the test.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    for i in 0..iters {
+        SCHEDULE.store(splitmix(i ^ 0x52_49_4E_47), StdOrdering::SeqCst);
+        f();
+    }
+}
+
+pub mod thread {
+    //! `loom::thread` — spawn/join with preemption on spawn and join.
+
+    /// Handle to a spawned model thread.
+    pub struct JoinHandle<T>(std::thread::JoinHandle<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish, propagating panics as `Err`.
+        pub fn join(self) -> std::thread::Result<T> {
+            super::preemption_point();
+            self.0.join()
+        }
+    }
+
+    /// Spawns a thread participating in the model.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        super::preemption_point();
+        JoinHandle(std::thread::spawn(move || {
+            super::preemption_point();
+            f()
+        }))
+    }
+
+    /// Yields the current thread (a scheduling point in real loom).
+    pub fn yield_now() {
+        std::thread::yield_now();
+    }
+}
+
+pub mod hint {
+    //! `loom::hint` — spin-loop hint that is also a preemption point.
+
+    /// Spin-loop hint; under the shim this may yield, which is what
+    /// keeps stress-tested spin loops from monopolizing a core.
+    pub fn spin_loop() {
+        super::preemption_point();
+        std::hint::spin_loop();
+    }
+}
+
+pub mod sync {
+    //! `loom::sync` — `Arc`, `Mutex`, `Condvar` wrappers.
+
+    pub use std::sync::Arc;
+    pub use std::sync::{LockResult, MutexGuard, WaitTimeoutResult};
+
+    /// Mutex whose lock acquisitions are preemption points.
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub fn new(t: T) -> Self {
+            Mutex(std::sync::Mutex::new(t))
+        }
+
+        /// Acquires the lock (a preemption point on both sides).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            super::preemption_point();
+            let g = self.0.lock();
+            super::preemption_point();
+            g
+        }
+
+        /// Attempts the lock without blocking.
+        pub fn try_lock(&self) -> std::sync::TryLockResult<MutexGuard<'_, T>> {
+            super::preemption_point();
+            self.0.try_lock()
+        }
+    }
+
+    /// Condvar whose wait/notify edges are preemption points.
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates a new condition variable.
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Blocks until notified.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            super::preemption_point();
+            self.0.wait(guard)
+        }
+
+        /// Blocks until notified or `dur` elapses. Real loom lacks
+        /// timed waits; the shim offers one so models of code using
+        /// `wait_timeout` (the Mailbox) can bound a lost-wakeup hang
+        /// instead of deadlocking the test.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: std::time::Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            super::preemption_point();
+            self.0.wait_timeout(guard, dur)
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            super::preemption_point();
+            self.0.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            super::preemption_point();
+            self.0.notify_all();
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    pub mod atomic {
+        //! `loom::sync::atomic` — atomics whose every access is a
+        //! preemption point.
+
+        pub use std::sync::atomic::Ordering;
+
+        /// `AtomicUsize` wrapper; every access is a preemption point.
+        pub struct AtomicUsize(std::sync::atomic::AtomicUsize);
+
+        impl AtomicUsize {
+            /// Creates a new atomic.
+            pub fn new(v: usize) -> Self {
+                AtomicUsize(std::sync::atomic::AtomicUsize::new(v))
+            }
+            /// Atomic load.
+            pub fn load(&self, o: Ordering) -> usize {
+                crate::preemption_point();
+                self.0.load(o)
+            }
+            /// Atomic store.
+            pub fn store(&self, v: usize, o: Ordering) {
+                crate::preemption_point();
+                self.0.store(v, o)
+            }
+            /// Atomic fetch-add; returns the previous value.
+            pub fn fetch_add(&self, v: usize, o: Ordering) -> usize {
+                crate::preemption_point();
+                self.0.fetch_add(v, o)
+            }
+            /// Atomic fetch-sub; returns the previous value.
+            pub fn fetch_sub(&self, v: usize, o: Ordering) -> usize {
+                crate::preemption_point();
+                self.0.fetch_sub(v, o)
+            }
+            /// Atomic compare-exchange.
+            pub fn compare_exchange(
+                &self,
+                cur: usize,
+                new: usize,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<usize, usize> {
+                crate::preemption_point();
+                self.0.compare_exchange(cur, new, ok, err)
+            }
+        }
+
+        /// `AtomicU64` wrapper; every access is a preemption point.
+        pub struct AtomicU64(std::sync::atomic::AtomicU64);
+
+        impl AtomicU64 {
+            /// Creates a new atomic.
+            pub fn new(v: u64) -> Self {
+                AtomicU64(std::sync::atomic::AtomicU64::new(v))
+            }
+            /// Atomic load.
+            pub fn load(&self, o: Ordering) -> u64 {
+                crate::preemption_point();
+                self.0.load(o)
+            }
+            /// Atomic store.
+            pub fn store(&self, v: u64, o: Ordering) {
+                crate::preemption_point();
+                self.0.store(v, o)
+            }
+            /// Atomic fetch-add; returns the previous value.
+            pub fn fetch_add(&self, v: u64, o: Ordering) -> u64 {
+                crate::preemption_point();
+                self.0.fetch_add(v, o)
+            }
+        }
+
+        /// `AtomicBool` wrapper; every access is a preemption point.
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// Creates a new atomic.
+            pub fn new(v: bool) -> Self {
+                AtomicBool(std::sync::atomic::AtomicBool::new(v))
+            }
+            /// Atomic load.
+            pub fn load(&self, o: Ordering) -> bool {
+                crate::preemption_point();
+                self.0.load(o)
+            }
+            /// Atomic store.
+            pub fn store(&self, v: bool, o: Ordering) {
+                crate::preemption_point();
+                self.0.store(v, o)
+            }
+            /// Atomic swap; returns the previous value.
+            pub fn swap(&self, v: bool, o: Ordering) -> bool {
+                crate::preemption_point();
+                self.0.swap(v, o)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_and_counts() {
+        let total = Arc::new(AtomicUsize::new(0));
+        let t = total.clone();
+        std::env::set_var("LOOM_STRESS_ITERS", "10");
+        super::model(move || {
+            t.fetch_add(1, Ordering::SeqCst);
+        });
+        std::env::remove_var("LOOM_STRESS_ITERS");
+        assert_eq!(total.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn threads_join() {
+        super::model(|| {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = n.clone();
+                    super::thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+}
