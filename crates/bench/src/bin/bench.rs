@@ -20,10 +20,11 @@
 
 use std::time::{Duration, Instant};
 
-use ring_bench::measure::{get_latency, put_latency};
+use ring_bench::measure::{get_latency, move_latency, put_latency};
 use ring_bench::output::results_dir;
 use ring_bench::workbench::{memgest_id, paper_cluster};
 use ring_gf::{region, Gf256};
+use ring_server::harness::{find_binary, LoopbackCluster, LoopbackSpec};
 use serde::Serialize;
 
 /// Maximum tolerated slowdown vs the committed baseline before
@@ -48,6 +49,15 @@ struct E2eRow {
 }
 
 #[derive(Serialize)]
+struct TcpRow {
+    scheme: String,
+    value_len: usize,
+    put_p50_us: f64,
+    get_p50_us: f64,
+    move_p50_us: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     schema: u32,
     /// Master seed of the benchmark cluster (echoed for replayability).
@@ -55,6 +65,10 @@ struct Report {
     smoke: bool,
     gf: Vec<GfRow>,
     e2e: Vec<E2eRow>,
+    /// Same protocol over real OS processes and loopback TCP (the
+    /// `ring-server` deployment path). Empty when the server binaries
+    /// were not built alongside the bench.
+    tcp_loopback: Vec<TcpRow>,
 }
 
 fn arg_value(flag: &str) -> Option<String> {
@@ -169,6 +183,80 @@ fn run_e2e(smoke: bool) -> (u64, Vec<E2eRow>) {
     (seed, rows)
 }
 
+/// End-to-end latency over real `ring-server` processes on loopback
+/// TCP: the same put/get/move measurements as the simulated-fabric
+/// section, so the two transports sit side by side in the report.
+///
+/// Skips (returning an empty vec) when the server binaries are not
+/// next to the bench executable — `cargo run --bin bench` does not
+/// build them; `cargo build --release -p ring-server` first, or let CI
+/// do it.
+fn run_tcp_loopback(smoke: bool) -> Vec<TcpRow> {
+    if find_binary("ring-server").is_none() || find_binary("ring-cli").is_none() {
+        println!(
+            "tcp_loopback: skipped (ring-server / ring-cli binaries not found; \
+             build them with `cargo build -p ring-server`)"
+        );
+        return Vec::new();
+    }
+    let reps = if smoke { 20 } else { 200 };
+    let value_len = 1024usize;
+    let cluster = match LoopbackCluster::start(LoopbackSpec::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            println!("tcp_loopback: skipped (cluster failed to boot: {e})");
+            return Vec::new();
+        }
+    };
+    let mut client = cluster.client();
+
+    // Warm up: the processes are accepting but the leader may still be
+    // assembling the first epoch; retry one throwaway put until it
+    // lands instead of folding startup noise into the samples.
+    let warm_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.put_to(u64::MAX, &[0u8; 8], 0) {
+            Ok(_) => break,
+            Err(e) if Instant::now() >= warm_deadline => {
+                println!("tcp_loopback: skipped (cluster never became ready: {e:?})");
+                return Vec::new();
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+
+    // Memgest 0 is REP(2), memgest 1 is SRS(2,1) in the default spec.
+    let mut rows = Vec::new();
+    for (scheme, memgest, other) in [("REP2", 0u32, 1u32), ("SRS21", 1, 0)] {
+        let key_base = u64::from(memgest + 1) * 1_000_000;
+        let put = put_latency(&mut client, memgest, value_len, reps, key_base);
+        let keys: Vec<u64> = (0..reps as u64).map(|i| key_base + i).collect();
+        let get = get_latency(&mut client, &keys, reps);
+        let mv = move_latency(
+            &mut client,
+            memgest,
+            other,
+            value_len,
+            reps,
+            key_base + 10_000_000,
+        );
+        println!(
+            "{scheme:>6} (tcp)  put p50 {:8.1}us  get p50 {:8.1}us  move p50 {:8.1}us",
+            put.median_us, get.median_us, mv.median_us
+        );
+        rows.push(TcpRow {
+            scheme: scheme.to_string(),
+            value_len,
+            put_p50_us: put.median_us,
+            get_p50_us: get.median_us,
+            move_p50_us: mv.median_us,
+        });
+    }
+    drop(client);
+    cluster.shutdown();
+    rows
+}
+
 /// Compares GF throughput against a baseline report, returning the
 /// regressions worse than [`MAX_REGRESSION`].
 fn check_against(baseline: &serde_json::Value, current: &[GfRow]) -> Vec<String> {
@@ -218,6 +306,8 @@ fn main() {
         println!("  {:>12} len {:>6}: {:9.0} MB/s", r.op, r.len, r.mbps);
     }
     let (seed, e2e) = run_e2e(smoke);
+    println!("TCP loopback (real ring-server processes):");
+    let tcp_loopback = run_tcp_loopback(smoke);
 
     let report = Report {
         schema: 1,
@@ -225,6 +315,7 @@ fn main() {
         smoke,
         gf,
         e2e,
+        tcp_loopback,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&out, json + "\n").expect("write BENCH_ring.json");

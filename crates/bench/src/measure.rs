@@ -2,7 +2,9 @@
 
 use std::time::{Duration, Instant};
 
+use ring_kvs::proto::Msg;
 use ring_kvs::{Cluster, RingClient};
+use ring_net::Transport;
 
 /// Median and 90th percentile, as reported throughout Section 6.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
@@ -37,8 +39,8 @@ pub fn summarize(mut samples: Vec<Duration>) -> LatencySummary {
 /// Measures put latency into `memgest` for objects of `size` bytes.
 /// Each repetition writes a distinct key (fresh heap range, as in an
 /// insert-heavy workload).
-pub fn put_latency(
-    client: &mut RingClient,
+pub fn put_latency<T: Transport<Msg>>(
+    client: &mut RingClient<T>,
     memgest: u32,
     size: usize,
     reps: usize,
@@ -58,7 +60,11 @@ pub fn put_latency(
 }
 
 /// Measures get latency for pre-loaded keys.
-pub fn get_latency(client: &mut RingClient, keys: &[u64], reps: usize) -> LatencySummary {
+pub fn get_latency<T: Transport<Msg>>(
+    client: &mut RingClient<T>,
+    keys: &[u64],
+    reps: usize,
+) -> LatencySummary {
     let mut samples = Vec::with_capacity(reps);
     for i in 0..reps {
         let key = keys[i % keys.len()];
@@ -71,8 +77,8 @@ pub fn get_latency(client: &mut RingClient, keys: &[u64], reps: usize) -> Latenc
 
 /// Measures move latency from `src` to `dst` for objects of `size`
 /// bytes. Each repetition uses a fresh key pre-loaded into `src`.
-pub fn move_latency(
-    client: &mut RingClient,
+pub fn move_latency<T: Transport<Msg>>(
+    client: &mut RingClient<T>,
     src: u32,
     dst: u32,
     size: usize,

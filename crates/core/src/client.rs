@@ -17,7 +17,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
-use ring_net::{NodeId, Payload};
+use ring_net::{NodeId, Payload, Transport};
 
 use crate::config::{ClusterConfig, LEADER_NODE};
 use crate::error::RingError;
@@ -70,8 +70,8 @@ pub type Completion = (ReqId, Result<ClientResp, RingError>);
 /// mapping goes stale; requests then time out, get multicast to all
 /// nodes, and the answering node is learned as the new coordinator —
 /// the protocol of Section 5.5.
-pub struct RingClient {
-    ep: RingEndpoint,
+pub struct RingClient<T: Transport<Msg> = RingEndpoint> {
+    ep: T,
     config: ClusterConfig,
     overrides: std::collections::HashMap<(GroupId, usize), NodeId>,
     next_req: ReqId,
@@ -91,9 +91,9 @@ pub struct RingClient {
     next_deadline: Option<Instant>,
 }
 
-impl RingClient {
+impl<T: Transport<Msg>> RingClient<T> {
     /// Creates a client from its own endpoint and the bootstrap config.
-    pub fn new(ep: RingEndpoint, config: ClusterConfig, opts: ClientOptions) -> RingClient {
+    pub fn new(ep: T, config: ClusterConfig, opts: ClientOptions) -> RingClient<T> {
         let all_nodes: Vec<NodeId> = config
             .nodes
             .iter()
@@ -261,6 +261,7 @@ impl RingClient {
             f.attempt += 1;
             f.deadline = now + self.opts.timeout;
             let body = f.body.clone();
+            self.ep.stats().record_retransmit();
             // Re-send through multicast; only the responsible node will
             // answer (Section 5.5). Spares are included — one of them
             // may have been promoted to the failed role.
@@ -571,7 +572,7 @@ impl RingClient {
     }
 }
 
-impl std::fmt::Debug for RingClient {
+impl<T: Transport<Msg>> std::fmt::Debug for RingClient<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RingClient")
             .field("id", &self.id())

@@ -15,6 +15,8 @@ use ring_net::NodeId;
 
 use crate::config::ClusterConfig;
 use crate::error::RingError;
+use ring_net::Transport;
+
 use crate::proto::{ClientReq, ClientResp, Msg, RingEndpoint};
 use crate::types::{MemgestDescriptor, MemgestId, ReqId, Scheme};
 
@@ -50,8 +52,8 @@ struct CtrlOp {
 }
 
 /// The membership leader node.
-pub struct Leader {
-    ep: RingEndpoint,
+pub struct Leader<T: Transport<Msg> = RingEndpoint> {
+    ep: T,
     config: ClusterConfig,
     catalog: BTreeMap<MemgestId, MemgestDescriptor>,
     default_memgest: MemgestId,
@@ -63,15 +65,15 @@ pub struct Leader {
     opts: LeaderOptions,
 }
 
-impl Leader {
+impl<T: Transport<Msg>> Leader<T> {
     /// Creates a leader with the initial config and memgest catalog.
     pub fn new(
-        ep: RingEndpoint,
+        ep: T,
         config: ClusterConfig,
         catalog: Vec<(MemgestId, MemgestDescriptor)>,
         default_memgest: MemgestId,
         opts: LeaderOptions,
-    ) -> Leader {
+    ) -> Leader<T> {
         let now = ring_net::clock::now() + opts.startup_grace;
         let mut last_seen = HashMap::new();
         for &n in config.nodes.iter().chain(config.spares.iter()) {
@@ -94,7 +96,17 @@ impl Leader {
 
     /// Runs the leader loop until the endpoint is killed.
     pub fn run(&mut self) {
+        self.run_until(|| false);
+    }
+
+    /// Runs the leader loop until the endpoint is killed or `stop`
+    /// returns true (graceful shutdown — the leader holds no in-flight
+    /// client state to drain).
+    pub fn run_until(&mut self, stop: impl Fn() -> bool) {
         loop {
+            if stop() {
+                return;
+            }
             match self.ep.recv_timeout(self.opts.poll_timeout) {
                 Ok((from, msg)) => self.dispatch(from, msg),
                 Err(ring_net::NetError::Timeout) => {}
@@ -337,9 +349,14 @@ impl Leader {
     pub fn config(&self) -> &ClusterConfig {
         &self.config
     }
+
+    /// The transport the leader runs on (net counters, shutdown).
+    pub fn transport(&self) -> &T {
+        &self.ep
+    }
 }
 
-impl std::fmt::Debug for Leader {
+impl<T: Transport<Msg>> std::fmt::Debug for Leader<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Leader")
             .field("epoch", &self.config.epoch)

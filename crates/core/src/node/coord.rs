@@ -2,7 +2,7 @@
 //! write-ahead, versioning, commit and garbage collection
 //! (Sections 5.1–5.3).
 
-use ring_net::{NodeId, Payload};
+use ring_net::{NodeId, Payload, Transport};
 
 use crate::config::LEADER_NODE;
 use crate::error::RingError;
@@ -12,7 +12,7 @@ use crate::types::{GroupId, Key, MemgestId, ReqId, Scheme, Version};
 
 use super::{Dedup, Node, OnCommit, PendingPut, StalledPut, DEDUP_CAP};
 
-impl Node {
+impl<T: Transport<Msg>> Node<T> {
     pub(crate) fn handle_request(&mut self, from: NodeId, req: ReqId, body: ClientReq) {
         // At-most-once for writes: a re-delivered `(client, req)` must
         // not execute a second time (it would assign a fresh version
@@ -906,6 +906,13 @@ impl Node {
 
     /// Builds and returns this node's introspection report.
     fn handle_stats(&mut self, from: NodeId, req: ReqId) {
+        let stats = self.build_stats();
+        self.respond(from, req, ClientResp::Stats(Box::new(stats)));
+    }
+
+    /// Builds the node's statistics report (shared by the `Stats` client
+    /// call and the graceful-shutdown JSON dump).
+    pub(crate) fn build_stats(&self) -> crate::stats::NodeStats {
         use crate::stats::{GroupStats, MemgestStats, NodeStats};
         use crate::storage::RedundantStore as RS;
         let mut groups = Vec::new();
@@ -965,14 +972,13 @@ impl Node {
                 memgests,
             });
         }
-        let stats = NodeStats {
+        NodeStats {
             node: self.id,
             epoch: self.config.epoch,
             active: self.active && self.recovering == 0,
             ops: self.ops,
             groups,
-        };
-        self.respond(from, req, ClientResp::Stats(Box::new(stats)));
+        }
     }
 
     /// Proactively recovers a few missing entries per tick (Section

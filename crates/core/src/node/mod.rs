@@ -17,6 +17,8 @@ use std::time::{Duration, Instant};
 use ring_net::NodeId;
 
 use crate::config::{ClusterConfig, Role, LEADER_NODE};
+use ring_net::Transport;
+
 use crate::proto::{ClientResp, ClientTag, Msg, RingEndpoint};
 use crate::storage::{data_mr_key, parity_mr_key, VolatileTable};
 use crate::storage::{CoordMemgest, CoordStore, Heap, RedundantMemgest, RedundantStore};
@@ -190,10 +192,11 @@ pub(crate) struct GroupState {
     pub stalled: BTreeMap<MemgestId, Vec<StalledPut>>,
 }
 
-/// A Ring server node.
-pub struct Node {
+/// A Ring server node, generic over its network backend (the simulated
+/// fabric by default; `TcpTransport` when run by `ring-server`).
+pub struct Node<T: Transport<Msg> = RingEndpoint> {
     pub(crate) id: NodeId,
-    pub(crate) ep: RingEndpoint,
+    pub(crate) ep: T,
     pub(crate) config: ClusterConfig,
     pub(crate) catalog: BTreeMap<MemgestId, MemgestDescriptor>,
     pub(crate) default_memgest: MemgestId,
@@ -216,9 +219,9 @@ pub struct Node {
     pub(crate) active: bool,
 }
 
-impl Node {
+impl<T: Transport<Msg>> Node<T> {
     /// Creates a node bound to `ep` with the given initial config.
-    pub fn new(ep: RingEndpoint, config: ClusterConfig, opts: NodeOptions) -> Node {
+    pub fn new(ep: T, config: ClusterConfig, opts: NodeOptions) -> Node<T> {
         let id = ep.id();
         let catalog: BTreeMap<MemgestId, MemgestDescriptor> =
             opts.initial_memgests.iter().copied().collect();
@@ -249,6 +252,15 @@ impl Node {
 
     /// Runs the event loop until the endpoint is killed.
     pub fn run(&mut self) {
+        self.run_until(|| false, Duration::ZERO);
+    }
+
+    /// Runs the event loop until the endpoint is killed or `stop`
+    /// returns true. On a stop request the node keeps serving until its
+    /// in-flight redundancy traffic drains (or `drain_grace` elapses),
+    /// so a SIGTERM'd server does not strand acknowledged writes.
+    pub fn run_until(&mut self, stop: impl Fn() -> bool, drain_grace: Duration) {
+        let mut draining_since: Option<Instant> = None;
         loop {
             match self.ep.recv_timeout(self.opts.poll_timeout) {
                 Ok((from, msg)) => self.dispatch(from, msg),
@@ -256,7 +268,25 @@ impl Node {
                 Err(_) => break, // Killed.
             }
             self.tick();
+            if stop() {
+                let now = ring_net::clock::now();
+                let since = *draining_since.get_or_insert(now);
+                if self.pending.is_empty() || now.duration_since(since) >= drain_grace {
+                    break;
+                }
+            }
         }
+    }
+
+    /// A point-in-time statistics report (the payload of the `Stats`
+    /// client call, also dumped on graceful shutdown).
+    pub fn node_stats(&self) -> crate::stats::NodeStats {
+        self.build_stats()
+    }
+
+    /// The transport this node runs on (net counters, shutdown).
+    pub fn transport(&self) -> &T {
+        &self.ep
     }
 
     fn tick(&mut self) {
@@ -355,6 +385,7 @@ impl Node {
             p.retries += 1;
             for (target, msg) in &p.msgs {
                 if p.outstanding.contains(target) {
+                    self.ep.stats().record_retransmit();
                     let _ = self.ep.send(*target, msg.clone());
                 }
             }
@@ -634,7 +665,7 @@ impl Node {
     }
 }
 
-impl std::fmt::Debug for Node {
+impl<T: Transport<Msg>> std::fmt::Debug for Node<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Node")
             .field("id", &self.id)

@@ -2,7 +2,7 @@
 //! metadata on a promoted spare, and the parity-rebuild protocol
 //! (Section 5.5 and Figure 12's six recovery steps).
 
-use ring_net::NodeId;
+use ring_net::{NodeId, Transport};
 
 use crate::config::Role;
 use crate::proto::{MetaEntry, Msg};
@@ -11,7 +11,7 @@ use crate::types::{GroupId, MemgestDescriptor, MemgestId, Scheme};
 
 use super::{Node, RebuildState};
 
-impl Node {
+impl<T: Transport<Msg>> Node<T> {
     /// Adopts a newer configuration. A freshly activated spare
     /// instantiates its role state and starts metadata recovery;
     /// survivors re-target uncommitted replication traffic.

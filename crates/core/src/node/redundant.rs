@@ -2,7 +2,7 @@
 //! metadata serving, and on-the-fly block decode (Sections 5.3 and 5.5).
 
 use ring_gf::Gf256;
-use ring_net::{NodeId, Payload};
+use ring_net::{NodeId, Payload, Transport};
 
 use crate::proto::{MetaEntry, Msg, ParitySeg};
 use crate::storage::{data_mr_key, CoordStore, ObjectEntry, RedundantStore};
@@ -10,7 +10,7 @@ use crate::types::{shard_of, GroupId, Key, MemgestId, Version};
 
 use super::Node;
 
-impl Node {
+impl<T: Transport<Msg>> Node<T> {
     /// Stores a replica copy of `(key, version)` and acknowledges.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn handle_replicate(

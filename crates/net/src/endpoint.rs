@@ -49,8 +49,8 @@ impl<M: Send + WireSize> Endpoint<M> {
     /// waiting.
     pub fn recv(&self) -> Result<(NodeId, M), NetError> {
         let r = self.slot.mailbox.recv(None);
-        if r.is_ok() {
-            self.slot.stats.record_recv();
+        if let Ok((_, msg)) = &r {
+            self.slot.stats.record_recv(msg.wire_size());
         }
         r
     }
@@ -62,8 +62,8 @@ impl<M: Send + WireSize> Endpoint<M> {
     /// [`NetError::Timeout`] on expiry, [`NetError::Closed`] if killed.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, M), NetError> {
         let r = self.slot.mailbox.recv(Some(timeout));
-        if r.is_ok() {
-            self.slot.stats.record_recv();
+        if let Ok((_, msg)) = &r {
+            self.slot.stats.record_recv(msg.wire_size());
         }
         r
     }
@@ -75,8 +75,8 @@ impl<M: Send + WireSize> Endpoint<M> {
     /// Returns [`NetError::Closed`] if the endpoint was killed.
     pub fn try_recv(&self) -> Result<Option<(NodeId, M)>, NetError> {
         let r = self.slot.mailbox.try_recv();
-        if let Ok(Some(_)) = r {
-            self.slot.stats.record_recv();
+        if let Ok(Some((_, msg))) = &r {
+            self.slot.stats.record_recv(msg.wire_size());
         }
         r
     }

@@ -31,6 +31,11 @@ pub enum NetError {
         /// Size of the region.
         region: usize,
     },
+    /// A received frame or frame body was malformed: bad magic, an
+    /// unsupported wire version, an oversized length, or a body that a
+    /// codec could not decode. Decoders return this instead of
+    /// panicking on arbitrary input.
+    BadFrame(String),
 }
 
 impl fmt::Display for NetError {
@@ -51,6 +56,7 @@ impl fmt::Display for NetError {
                 f,
                 "access [{offset}, {offset}+{len}) out of bounds for region of {region} bytes"
             ),
+            NetError::BadFrame(why) => write!(f, "malformed frame: {why}"),
         }
     }
 }

@@ -46,20 +46,26 @@ mod endpoint;
 mod error;
 mod fabric;
 mod fault;
+pub mod frame;
 mod latency;
 mod mailbox;
 mod memory;
 mod payload;
 mod stats;
+mod tcp;
+mod transport;
 
 pub use endpoint::Endpoint;
 pub use error::NetError;
 pub use fabric::Fabric;
 pub use fault::{FaultAction, FaultInjector, NoFaults};
+pub use frame::{Codec, FrameBuf, FrameKind, WireReader};
 pub use latency::{spin_wait, LatencyModel};
 pub use memory::{MemoryRegion, MrKey};
 pub use payload::Payload;
 pub use stats::{NetStats, NetStatsSnapshot};
+pub use tcp::{TcpOptions, TcpTransport};
+pub use transport::Transport;
 
 /// Node identifier on a fabric.
 pub type NodeId = u32;

@@ -1,0 +1,681 @@
+//! Threaded-TCP transport backend.
+//!
+//! [`TcpTransport`] implements [`Transport`](crate::Transport) over real
+//! sockets so the protocol engines that normally run on the simulated
+//! fabric can run as standalone OS processes (`ring-server`,
+//! `ring-cli`). The design mirrors the sim's semantics exactly:
+//!
+//! - **Fire-and-forget sends.** A send to a dead, unreachable, or
+//!   never-configured peer returns `Ok(())` and the message vanishes;
+//!   only a shut-down local endpoint errors. Protocol code relies on
+//!   timeouts, as on a real network.
+//! - **Lazy bidirectional connections.** The first send to a peer dials
+//!   its listen address and introduces itself with a `Hello` frame; the
+//!   accepting side registers the same stream for its own sends back.
+//!   Clients therefore need no listener of their own.
+//! - **One-sided verbs as internal RPCs.** `rdma_read`/`rdma_write`
+//!   travel as `RdmaReadReq`/`RdmaWriteReq` frames serviced directly by
+//!   the remote *reader thread* — the remote protocol thread is never
+//!   scheduled, preserving the one-sided property the recovery path
+//!   assumes.
+//! - **Logical stats.** Counters record message counts and `WireSize`
+//!   bytes (not encoded frame sizes), so a fixed protocol script
+//!   produces identical counters on sim and TCP.
+//!
+//! Incoming application messages land in the same timestamp-ordered
+//! [`Mailbox`] the sim uses (with delivery due immediately), so recv
+//! ordering and timeout behaviour are shared code.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::frame::{read_frame, Codec, FrameBuf, FrameKind, WireReader};
+use crate::mailbox::Mailbox;
+use crate::{MemoryRegion, MrKey, NetError, NetStats, NodeId, WireSize};
+
+/// Tuning knobs for the TCP backend.
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Dial timeout for lazy connections.
+    pub connect_timeout: Duration,
+    /// How long a one-sided read/write waits for its response before
+    /// reporting the peer unreachable.
+    pub rpc_timeout: Duration,
+}
+
+impl Default for TcpOptions {
+    fn default() -> TcpOptions {
+        TcpOptions {
+            connect_timeout: Duration::from_millis(500),
+            rpc_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A parsed one-sided response, mapped to `NetError` by the requester
+/// (which knows the target node id).
+enum RpcReply {
+    ReadOk(Vec<u8>),
+    WriteOk,
+    UnknownRegion,
+    OutOfBounds { region: usize },
+    Malformed,
+}
+
+type Writer = Arc<Mutex<TcpStream>>;
+
+struct Shared<M> {
+    id: NodeId,
+    codec: Arc<dyn Codec<M>>,
+    mailbox: Arc<Mailbox<M>>,
+    regions: RwLock<BTreeMap<MrKey, MemoryRegion>>,
+    stats: NetStats,
+    /// Live writer halves, keyed by peer node id. Entries appear on
+    /// outbound dial or inbound `Hello` and vanish on I/O error.
+    conns: Mutex<BTreeMap<NodeId, Writer>>,
+    /// Every stream ever opened, kept so `close()` can unblock the
+    /// blocking reader threads by shutting the sockets down.
+    streams: Mutex<Vec<TcpStream>>,
+    /// In-flight one-sided RPCs: `None` until the response arrives.
+    rpcs: Mutex<BTreeMap<u64, Option<RpcReply>>>,
+    rpc_cond: Condvar,
+    next_rpc: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A TCP-backed transport endpoint.
+///
+/// Created with [`TcpTransport::bind`] (servers: listens for peers) or
+/// [`TcpTransport::client`] (clients: outbound connections only).
+pub struct TcpTransport<M> {
+    peers: BTreeMap<NodeId, SocketAddr>,
+    opts: TcpOptions,
+    inner: Arc<Shared<M>>,
+}
+
+impl<M> std::fmt::Debug for TcpTransport<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("id", &self.inner.id)
+            .finish()
+    }
+}
+
+impl<M: Send + WireSize + Clone + 'static> TcpTransport<M> {
+    /// Binds `listen` and starts accepting peer connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn bind(
+        id: NodeId,
+        listen: SocketAddr,
+        peers: BTreeMap<NodeId, SocketAddr>,
+        codec: Arc<dyn Codec<M>>,
+        opts: TcpOptions,
+    ) -> std::io::Result<TcpTransport<M>> {
+        let t = TcpTransport::client(id, peers, codec, opts);
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::clone(&t.inner);
+        std::thread::Builder::new()
+            .name(format!("ring-net-accept-{id}"))
+            .spawn(move || accept_loop(shared, listener))
+            .expect("spawn accept thread");
+        Ok(t)
+    }
+
+    /// An endpoint with no listener: it can dial peers and receive on
+    /// the connections it opens (the `ring-cli` shape).
+    pub fn client(
+        id: NodeId,
+        peers: BTreeMap<NodeId, SocketAddr>,
+        codec: Arc<dyn Codec<M>>,
+        opts: TcpOptions,
+    ) -> TcpTransport<M> {
+        TcpTransport {
+            peers,
+            opts,
+            inner: Arc::new(Shared {
+                id,
+                codec,
+                mailbox: Mailbox::new(),
+                regions: RwLock::new(BTreeMap::new()),
+                stats: NetStats::default(),
+                conns: Mutex::new(BTreeMap::new()),
+                streams: Mutex::new(Vec::new()),
+                rpcs: Mutex::new(BTreeMap::new()),
+                rpc_cond: Condvar::new(),
+                next_rpc: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.inner.id
+    }
+
+    /// This endpoint's traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Shuts the endpoint down: wakes blocked receivers with
+    /// [`NetError::Closed`], stops the accept loop, and closes every
+    /// stream so reader threads exit.
+    pub fn close(&self) {
+        self.inner.shutdown.store(true, AtomicOrdering::Release);
+        self.inner.mailbox.close();
+        self.inner.conns.lock().clear();
+        let streams = self.inner.streams.lock();
+        for s in streams.iter() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        drop(streams);
+        // Fail any RPC still waiting for a response.
+        let mut rpcs = self.inner.rpcs.lock();
+        for slot in rpcs.values_mut() {
+            if slot.is_none() {
+                *slot = Some(RpcReply::Malformed);
+            }
+        }
+        drop(rpcs);
+        self.inner.rpc_cond.notify_all();
+    }
+
+    /// The writer for `node`: an existing connection (inbound or
+    /// outbound) or a fresh dial of its configured address.
+    fn writer_for(&self, node: NodeId) -> Option<Writer> {
+        if let Some(w) = self.inner.conns.lock().get(&node) {
+            return Some(Arc::clone(w));
+        }
+        let addr = *self.peers.get(&node)?;
+        let stream = TcpStream::connect_timeout(&addr, self.opts.connect_timeout).ok()?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream.try_clone().ok()?;
+        self.inner.streams.lock().push(reader.try_clone().ok()?);
+        let writer: Writer = Arc::new(Mutex::new(stream));
+
+        // Introduce ourselves so the peer can route replies (and its own
+        // sends) back over this stream.
+        let mut hello = FrameBuf::new();
+        hello.put_u32(self.inner.id);
+        {
+            let mut w = writer.lock();
+            if hello.write_to(FrameKind::Hello, &mut *w).is_err() {
+                return None;
+            }
+            let _ = w.flush();
+        }
+
+        let entry = {
+            let mut conns = self.inner.conns.lock();
+            // A concurrent dial or inbound Hello may have won the race;
+            // keep whichever writer is already registered.
+            Arc::clone(conns.entry(node).or_insert_with(|| Arc::clone(&writer)))
+        };
+        let shared = Arc::clone(&self.inner);
+        let w2 = Arc::clone(&writer);
+        std::thread::Builder::new()
+            .name(format!("ring-net-read-{}-{node}", self.inner.id))
+            .spawn(move || reader_loop(shared, reader, w2, Some(node)))
+            .expect("spawn reader thread");
+        Some(entry)
+    }
+
+    fn write_frame(&self, node: NodeId, kind: FrameKind, body: &FrameBuf) -> bool {
+        let Some(writer) = self.writer_for(node) else {
+            return false;
+        };
+        let ok = {
+            let mut w = writer.lock();
+            body.write_to(kind, &mut *w)
+                .and_then(|()| w.flush())
+                .is_ok()
+        };
+        if !ok {
+            drop_conn(&self.inner, node, &writer);
+        }
+        ok
+    }
+
+    /// Posts a message. Fire-and-forget: connection or write failures
+    /// drop the message silently, exactly like the sim fabric.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if this endpoint has been shut down.
+    pub fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
+        if self.inner.shutdown.load(AtomicOrdering::Acquire) {
+            return Err(NetError::Closed);
+        }
+        self.inner.stats.record_send(msg.wire_size());
+        let mut body = FrameBuf::new();
+        self.inner.codec.encode(&msg, &mut body);
+        self.write_frame(to, FrameKind::App, &body);
+        Ok(())
+    }
+
+    /// One-sided RPC: send a request frame and block for its reply.
+    fn rpc(
+        &self,
+        node: NodeId,
+        kind: FrameKind,
+        build: impl FnOnce(u64, &mut FrameBuf),
+    ) -> Option<RpcReply> {
+        let rpc = self.inner.next_rpc.fetch_add(1, AtomicOrdering::AcqRel);
+        let mut body = FrameBuf::new();
+        build(rpc, &mut body);
+        self.inner.rpcs.lock().insert(rpc, None);
+        if !self.write_frame(node, kind, &body) {
+            self.inner.rpcs.lock().remove(&rpc);
+            return None;
+        }
+        let deadline = crate::clock::now() + self.opts.rpc_timeout;
+        let mut rpcs = self.inner.rpcs.lock();
+        loop {
+            match rpcs.get(&rpc) {
+                Some(Some(_)) => {
+                    return rpcs.remove(&rpc).flatten();
+                }
+                Some(None) => {}
+                None => return None,
+            }
+            if self
+                .inner
+                .rpc_cond
+                .wait_until(&mut rpcs, deadline)
+                .timed_out()
+            {
+                rpcs.remove(&rpc);
+                return None;
+            }
+        }
+    }
+
+    fn rdma_read_inner(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        len: usize,
+        padded: bool,
+    ) -> Result<Vec<u8>, NetError> {
+        let reply = self
+            .rpc(node, FrameKind::RdmaReadReq, |rpc, body| {
+                body.put_u64(rpc);
+                body.put_u64(key);
+                body.put_u64(offset as u64);
+                body.put_u64(len as u64);
+                body.put_u8(padded as u8);
+            })
+            .ok_or(NetError::Unreachable(node))?;
+        match reply {
+            RpcReply::ReadOk(bytes) => {
+                self.inner.stats.record_rdma_read(len);
+                Ok(bytes)
+            }
+            RpcReply::UnknownRegion => Err(NetError::UnknownRegion { node, key }),
+            RpcReply::OutOfBounds { region } => Err(NetError::OutOfBounds {
+                offset,
+                len,
+                region,
+            }),
+            _ => Err(NetError::Unreachable(node)),
+        }
+    }
+
+    /// One-sided read of `node`'s region `key` (see
+    /// [`Endpoint::rdma_read`](crate::Endpoint::rdma_read)).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unreachable`] (including response timeout),
+    /// [`NetError::UnknownRegion`] or [`NetError::OutOfBounds`].
+    pub fn rdma_read(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, NetError> {
+        self.rdma_read_inner(node, key, offset, len, false)
+    }
+
+    /// One-sided read that zero-pads past the end of the region.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unreachable`] or [`NetError::UnknownRegion`].
+    pub fn rdma_read_padded(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, NetError> {
+        self.rdma_read_inner(node, key, offset, len, true)
+    }
+
+    /// One-sided write into `node`'s region `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Unreachable`] (including response timeout),
+    /// [`NetError::UnknownRegion`] or [`NetError::OutOfBounds`].
+    pub fn rdma_write(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<(), NetError> {
+        let reply = self
+            .rpc(node, FrameKind::RdmaWriteReq, |rpc, body| {
+                body.put_u64(rpc);
+                body.put_u64(key);
+                body.put_u64(offset as u64);
+                body.put_bytes(bytes);
+            })
+            .ok_or(NetError::Unreachable(node))?;
+        match reply {
+            RpcReply::WriteOk => {
+                self.inner.stats.record_rdma_write(bytes.len());
+                Ok(())
+            }
+            RpcReply::UnknownRegion => Err(NetError::UnknownRegion { node, key }),
+            RpcReply::OutOfBounds { region } => Err(NetError::OutOfBounds {
+                offset,
+                len: bytes.len(),
+                region,
+            }),
+            _ => Err(NetError::Unreachable(node)),
+        }
+    }
+}
+
+impl<M> Drop for TcpTransport<M> {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, AtomicOrdering::Release);
+        self.inner.mailbox.close();
+        let streams = self.inner.streams.lock();
+        for s in streams.iter() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl<M: Send + WireSize + Clone + 'static> crate::Transport<M> for TcpTransport<M> {
+    fn id(&self) -> NodeId {
+        TcpTransport::id(self)
+    }
+
+    fn stats(&self) -> &NetStats {
+        TcpTransport::stats(self)
+    }
+
+    fn send(&self, to: NodeId, msg: M) -> Result<(), NetError> {
+        TcpTransport::send(self, to, msg)
+    }
+
+    fn multicast(&self, to: &[NodeId], msg: M) -> Result<(), NetError> {
+        for &t in to {
+            TcpTransport::send(self, t, msg.clone())?;
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(NodeId, M), NetError> {
+        let r = self.inner.mailbox.recv(Some(timeout));
+        if let Ok((_, msg)) = &r {
+            self.inner.stats.record_recv(msg.wire_size());
+        }
+        r
+    }
+
+    fn try_recv(&self) -> Result<Option<(NodeId, M)>, NetError> {
+        let r = self.inner.mailbox.try_recv();
+        if let Ok(Some((_, msg))) = &r {
+            self.inner.stats.record_recv(msg.wire_size());
+        }
+        r
+    }
+
+    fn register_region(&self, key: MrKey, region: MemoryRegion) {
+        self.inner.regions.write().insert(key, region);
+    }
+
+    fn deregister_region(&self, key: MrKey) {
+        self.inner.regions.write().remove(&key);
+    }
+
+    fn local_region(&self, key: MrKey) -> Option<MemoryRegion> {
+        self.inner.regions.read().get(&key).cloned()
+    }
+
+    fn rdma_read(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, NetError> {
+        TcpTransport::rdma_read(self, node, key, offset, len)
+    }
+
+    fn rdma_read_padded(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, NetError> {
+        TcpTransport::rdma_read_padded(self, node, key, offset, len)
+    }
+
+    fn rdma_write(
+        &self,
+        node: NodeId,
+        key: MrKey,
+        offset: usize,
+        bytes: &[u8],
+    ) -> Result<(), NetError> {
+        TcpTransport::rdma_write(self, node, key, offset, bytes)
+    }
+}
+
+/// Accepts inbound connections until shutdown. Nonblocking accept with
+/// a short sleep keeps the thread responsive to `close()` without read
+/// timeouts that could desynchronise mid-frame.
+fn accept_loop<M: Send + WireSize + Clone + 'static>(
+    shared: Arc<Shared<M>>,
+    listener: TcpListener,
+) {
+    loop {
+        if shared.shutdown.load(AtomicOrdering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let Ok(reader) = stream.try_clone() else {
+                    continue;
+                };
+                if let Ok(s) = stream.try_clone() {
+                    shared.streams.lock().push(s);
+                }
+                let writer: Writer = Arc::new(Mutex::new(stream));
+                let shared2 = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ring-net-read-{}-in", shared.id))
+                    .spawn(move || reader_loop(shared2, reader, writer, None))
+                    .expect("spawn reader thread");
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Removes the conns entry for `node` if it still points at `writer`.
+fn drop_conn<M>(shared: &Shared<M>, node: NodeId, writer: &Writer) {
+    let mut conns = shared.conns.lock();
+    if conns.get(&node).is_some_and(|w| Arc::ptr_eq(w, writer)) {
+        conns.remove(&node);
+    }
+}
+
+/// Per-stream reader: dispatches frames until error, EOF, or shutdown.
+/// `peer` is known for outbound streams and learned from `Hello` on
+/// inbound ones.
+fn reader_loop<M: Send + WireSize + Clone + 'static>(
+    shared: Arc<Shared<M>>,
+    mut stream: TcpStream,
+    writer: Writer,
+    mut peer: Option<NodeId>,
+) {
+    loop {
+        if shared.shutdown.load(AtomicOrdering::Acquire) {
+            return;
+        }
+        let (kind, body) = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => {
+                if let Some(p) = peer {
+                    drop_conn(&shared, p, &writer);
+                }
+                return;
+            }
+        };
+        match kind {
+            FrameKind::Hello => {
+                let mut r = WireReader::new(&body);
+                if let Ok(id) = r.u32() {
+                    shared.conns.lock().insert(id, Arc::clone(&writer));
+                    peer = Some(id);
+                }
+            }
+            FrameKind::App => {
+                if let Some(p) = peer {
+                    if let Ok(msg) = shared.codec.decode(&body) {
+                        shared.mailbox.push(p, msg, crate::clock::now());
+                    }
+                }
+            }
+            FrameKind::RdmaReadReq => serve_read(&shared, &body, &writer),
+            FrameKind::RdmaWriteReq => serve_write(&shared, &body, &writer),
+            FrameKind::RdmaReadResp => complete_rpc(&shared, true, &body),
+            FrameKind::RdmaWriteResp => complete_rpc(&shared, false, &body),
+        }
+    }
+}
+
+const RPC_OK: u8 = 0;
+const RPC_UNKNOWN_REGION: u8 = 1;
+const RPC_OUT_OF_BOUNDS: u8 = 2;
+
+/// Services a one-sided read directly on the reader thread; the
+/// protocol thread is never involved (the "one-sided" property).
+fn serve_read<M>(shared: &Shared<M>, body: &[u8], writer: &Writer) {
+    let mut r = WireReader::new(body);
+    let Ok((rpc, key, offset, len, padded)) = (|| -> Result<_, NetError> {
+        let rpc = r.u64()?;
+        let key = r.u64()?;
+        let offset = r.u64()? as usize;
+        let len = r.u64()? as usize;
+        let padded = r.u8()? != 0;
+        Ok((rpc, key, offset, len, padded))
+    })() else {
+        return; // Malformed request: nothing to correlate a reply to.
+    };
+    let region = shared.regions.read().get(&key).cloned();
+    let mut resp = FrameBuf::new();
+    resp.put_u64(rpc);
+    match region {
+        None => resp.put_u8(RPC_UNKNOWN_REGION),
+        Some(region) if padded => {
+            let available = region.len().saturating_sub(offset).min(len);
+            let mut out = vec![0u8; len];
+            if available > 0 {
+                if let Ok(bytes) = region.read(offset, available) {
+                    out[..available].copy_from_slice(&bytes);
+                }
+            }
+            resp.put_u8(RPC_OK);
+            resp.put_bytes(&out);
+        }
+        Some(region) => match region.read(offset, len) {
+            Ok(bytes) => {
+                resp.put_u8(RPC_OK);
+                resp.put_bytes(&bytes);
+            }
+            Err(_) => {
+                resp.put_u8(RPC_OUT_OF_BOUNDS);
+                resp.put_u64(region.len() as u64);
+            }
+        },
+    }
+    let mut w = writer.lock();
+    let _ = resp
+        .write_to(FrameKind::RdmaReadResp, &mut *w)
+        .and_then(|()| w.flush());
+}
+
+/// Services a one-sided write directly on the reader thread.
+fn serve_write<M>(shared: &Shared<M>, body: &[u8], writer: &Writer) {
+    let mut r = WireReader::new(body);
+    let Ok((rpc, key, offset)) =
+        (|| -> Result<_, NetError> { Ok((r.u64()?, r.u64()?, r.u64()? as usize)) })()
+    else {
+        return;
+    };
+    let bytes = r.rest();
+    let region = shared.regions.read().get(&key).cloned();
+    let mut resp = FrameBuf::new();
+    resp.put_u64(rpc);
+    match region {
+        None => resp.put_u8(RPC_UNKNOWN_REGION),
+        Some(region) => match region.write(offset, bytes) {
+            Ok(()) => resp.put_u8(RPC_OK),
+            Err(_) => {
+                resp.put_u8(RPC_OUT_OF_BOUNDS);
+                resp.put_u64(region.len() as u64);
+            }
+        },
+    }
+    let mut w = writer.lock();
+    let _ = resp
+        .write_to(FrameKind::RdmaWriteResp, &mut *w)
+        .and_then(|()| w.flush());
+}
+
+/// Parses a one-sided response and wakes the waiting requester.
+fn complete_rpc<M>(shared: &Shared<M>, is_read: bool, body: &[u8]) {
+    let mut r = WireReader::new(body);
+    let Ok(rpc) = r.u64() else { return };
+    let reply = match r.u8() {
+        Ok(RPC_OK) if is_read => RpcReply::ReadOk(r.rest().to_vec()),
+        Ok(RPC_OK) => RpcReply::WriteOk,
+        Ok(RPC_UNKNOWN_REGION) => RpcReply::UnknownRegion,
+        Ok(RPC_OUT_OF_BOUNDS) => RpcReply::OutOfBounds {
+            region: r.u64().unwrap_or(0) as usize,
+        },
+        _ => RpcReply::Malformed,
+    };
+    let mut rpcs = shared.rpcs.lock();
+    if let Some(slot) = rpcs.get_mut(&rpc) {
+        *slot = Some(reply);
+        drop(rpcs);
+        shared.rpc_cond.notify_all();
+    }
+}

@@ -1,0 +1,678 @@
+//! Configuration surface of the `ring-server` and `ring-cli` binaries.
+//!
+//! A deployment is described by a [`ClusterTopology`]: the shard layout
+//! (`s`, `d`, `groups`), the node id lists, the id → address peer map,
+//! and the memgest catalog. Every process of one cluster — servers,
+//! leader, clients — parses the *same* description, either from a
+//! shared `key = value` cluster file (`--config ring.conf`) or from
+//! repeated flags; flags override file entries.
+//!
+//! Cluster file format (one `key = value` per line, `#` comments):
+//!
+//! ```text
+//! s = 2
+//! d = 1
+//! groups = 1
+//! nodes = 0,1,2
+//! spares = 3
+//! peer.0 = 127.0.0.1:4700
+//! peer.1 = 127.0.0.1:4701
+//! peer.2 = 127.0.0.1:4702
+//! peer.3 = 127.0.0.1:4703
+//! peer.10000 = 127.0.0.1:4799   # the leader
+//! memgest = rep:2
+//! memgest = srs:2,1
+//! default_memgest = 0
+//! ```
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use ring_kvs::config::{ClusterConfig, CLIENT_BASE, LEADER_NODE};
+use ring_kvs::types::{MemgestDescriptor, MemgestId, Scheme};
+use ring_net::NodeId;
+
+/// A configuration parse failure (message is the CLI diagnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ConfigError> {
+    Err(ConfigError(msg.into()))
+}
+
+/// The shared description of one cluster deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTopology {
+    /// Shards (coordinator slots) per group.
+    pub s: usize,
+    /// Redundant nodes per group.
+    pub d: usize,
+    /// Memgest groups.
+    pub groups: usize,
+    /// Active node ids (exactly `s + d`).
+    pub nodes: Vec<NodeId>,
+    /// Spare node ids.
+    pub spares: Vec<NodeId>,
+    /// Listen address of every process, including the leader under
+    /// [`LEADER_NODE`]. Clients need no entry: they dial, servers
+    /// answer over the same connection.
+    pub peers: BTreeMap<NodeId, SocketAddr>,
+    /// Memgests created at startup, ids `0..n` in order.
+    pub memgests: Vec<MemgestDescriptor>,
+    /// Default memgest for untargeted puts.
+    pub default_memgest: MemgestId,
+}
+
+impl Default for ClusterTopology {
+    fn default() -> ClusterTopology {
+        ClusterTopology {
+            s: 2,
+            d: 1,
+            groups: 1,
+            nodes: vec![0, 1, 2],
+            spares: Vec::new(),
+            peers: BTreeMap::new(),
+            memgests: vec![MemgestDescriptor::rep(2)],
+            default_memgest: 0,
+        }
+    }
+}
+
+impl ClusterTopology {
+    /// Parses a cluster file (see the module docs for the format).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending line.
+    pub fn parse_file(text: &str) -> Result<ClusterTopology, ConfigError> {
+        let mut topo = ClusterTopology {
+            memgests: Vec::new(),
+            ..ClusterTopology::default()
+        };
+        let mut nodes_set = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return err(format!("line {}: expected `key = value`", lineno + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let at = |what: &str, e: &dyn std::fmt::Display| {
+                ConfigError(format!("line {}: bad {what}: {e}", lineno + 1))
+            };
+            match key {
+                "s" => topo.s = value.parse().map_err(|e| at("s", &e))?,
+                "d" => topo.d = value.parse().map_err(|e| at("d", &e))?,
+                "groups" => topo.groups = value.parse().map_err(|e| at("groups", &e))?,
+                "nodes" => {
+                    topo.nodes = parse_id_list(value).map_err(|e| at("nodes", &e))?;
+                    nodes_set = true;
+                }
+                "spares" => topo.spares = parse_id_list(value).map_err(|e| at("spares", &e))?,
+                "memgest" => topo
+                    .memgests
+                    .push(parse_scheme(value).map_err(|e| at("memgest", &e))?),
+                "default_memgest" => {
+                    topo.default_memgest = value.parse().map_err(|e| at("default_memgest", &e))?
+                }
+                _ => {
+                    if let Some(id) = key.strip_prefix("peer.") {
+                        let id: NodeId = id.parse().map_err(|e| at("peer id", &e))?;
+                        let addr: SocketAddr = value.parse().map_err(|e| at("peer address", &e))?;
+                        topo.peers.insert(id, addr);
+                    } else {
+                        return err(format!("line {}: unknown key `{key}`", lineno + 1));
+                    }
+                }
+            }
+        }
+        if !nodes_set {
+            topo.nodes = (0..(topo.s + topo.d) as NodeId).collect();
+        }
+        if topo.memgests.is_empty() {
+            topo.memgests.push(MemgestDescriptor::rep(2));
+        }
+        topo.validate()?;
+        Ok(topo)
+    }
+
+    /// Renders the topology back into the cluster-file format (the
+    /// harness writes this for the processes it spawns).
+    pub fn to_file(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "s = {}", self.s);
+        let _ = writeln!(out, "d = {}", self.d);
+        let _ = writeln!(out, "groups = {}", self.groups);
+        let _ = writeln!(out, "nodes = {}", fmt_id_list(&self.nodes));
+        if !self.spares.is_empty() {
+            let _ = writeln!(out, "spares = {}", fmt_id_list(&self.spares));
+        }
+        for (id, addr) in &self.peers {
+            let _ = writeln!(out, "peer.{id} = {addr}");
+        }
+        for m in &self.memgests {
+            let _ = writeln!(out, "memgest = {}", fmt_scheme(m));
+        }
+        let _ = writeln!(out, "default_memgest = {}", self.default_memgest);
+        out
+    }
+
+    /// Sanity-checks the topology.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] describing the inconsistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.s == 0 {
+            return err("need at least one shard (s > 0)");
+        }
+        if self.groups == 0 {
+            return err("need at least one group");
+        }
+        if self.nodes.len() != self.s + self.d {
+            return err(format!(
+                "nodes list has {} entries, s + d = {}",
+                self.nodes.len(),
+                self.s + self.d
+            ));
+        }
+        if self.memgests.is_empty() {
+            return err("need at least one memgest");
+        }
+        if self.default_memgest as usize >= self.memgests.len() {
+            return err(format!(
+                "default_memgest {} out of range (have {} memgests)",
+                self.default_memgest,
+                self.memgests.len()
+            ));
+        }
+        for &id in self.nodes.iter().chain(self.spares.iter()) {
+            if id >= CLIENT_BASE {
+                return err(format!("node id {id} collides with the client id range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The bootstrap [`ClusterConfig`] every process starts from.
+    pub fn config(&self) -> ClusterConfig {
+        ClusterConfig::initial(
+            self.s,
+            self.d,
+            self.groups,
+            self.nodes.clone(),
+            self.spares.clone(),
+        )
+    }
+
+    /// The memgest catalog as `(id, descriptor)` pairs, ids `0..n`.
+    pub fn catalog(&self) -> Vec<(MemgestId, MemgestDescriptor)> {
+        self.memgests
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as MemgestId, d))
+            .collect()
+    }
+}
+
+fn parse_id_list(s: &str) -> Result<Vec<NodeId>, ConfigError> {
+    if s.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<NodeId>()
+                .map_err(|e| ConfigError(format!("`{}`: {e}", p.trim())))
+        })
+        .collect()
+}
+
+fn fmt_id_list(ids: &[NodeId]) -> String {
+    ids.iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a scheme spec: `rep:<r>` or `srs:<k>,<m>`, optionally
+/// suffixed with `@<block_size>`.
+///
+/// # Errors
+///
+/// [`ConfigError`] describing the malformed spec.
+pub fn parse_scheme(spec: &str) -> Result<MemgestDescriptor, ConfigError> {
+    let (scheme_part, block) = match spec.split_once('@') {
+        Some((s, b)) => (
+            s,
+            Some(
+                b.parse::<usize>()
+                    .map_err(|e| ConfigError(format!("block size `{b}`: {e}")))?,
+            ),
+        ),
+        None => (spec, None),
+    };
+    let Some((name, params)) = scheme_part.split_once(':') else {
+        return err(format!(
+            "scheme `{spec}` must be rep:<r> or srs:<k>,<m> (e.g. rep:2, srs:2,1)"
+        ));
+    };
+    let mut desc = match name.trim() {
+        "rep" => {
+            let r: usize = params
+                .trim()
+                .parse()
+                .map_err(|e| ConfigError(format!("rep factor `{params}`: {e}")))?;
+            if r == 0 {
+                return err("rep factor must be >= 1");
+            }
+            MemgestDescriptor::rep(r)
+        }
+        "srs" => {
+            let Some((k, m)) = params.split_once(',') else {
+                return err(format!("srs spec `{params}` must be <k>,<m>"));
+            };
+            let k: usize = k
+                .trim()
+                .parse()
+                .map_err(|e| ConfigError(format!("srs k `{k}`: {e}")))?;
+            let m: usize = m
+                .trim()
+                .parse()
+                .map_err(|e| ConfigError(format!("srs m `{m}`: {e}")))?;
+            if k == 0 || m == 0 {
+                return err("srs k and m must be >= 1");
+            }
+            MemgestDescriptor::srs(k, m)
+        }
+        other => return err(format!("unknown scheme `{other}` (want rep or srs)")),
+    };
+    if let Some(b) = block {
+        desc.block_size = b;
+    }
+    Ok(desc)
+}
+
+fn fmt_scheme(d: &MemgestDescriptor) -> String {
+    match d.scheme {
+        Scheme::Rep { r } => format!("rep:{r}@{}", d.block_size),
+        Scheme::Srs { k, m } => format!("srs:{k},{m}@{}", d.block_size),
+    }
+}
+
+/// Parsed `ring-server` command line.
+#[derive(Debug, Clone)]
+pub struct ServerArgs {
+    /// This process's node id ([`LEADER_NODE`] when `--leader`).
+    pub node: NodeId,
+    /// Run the membership leader instead of a storage node.
+    pub leader: bool,
+    /// Listen address (defaults to this node's `peer.<id>` entry).
+    pub listen: SocketAddr,
+    /// The shared deployment description.
+    pub topology: ClusterTopology,
+    /// Heartbeat period.
+    pub heartbeat: Duration,
+    /// Leader failure-detection threshold.
+    pub fail_timeout: Duration,
+    /// How long a SIGTERM'd node keeps draining in-flight redundancy
+    /// traffic before exiting anyway.
+    pub drain_grace: Duration,
+}
+
+/// Parses the `ring-server` command line (without the program name).
+///
+/// # Errors
+///
+/// [`ConfigError`] with a usage-style diagnostic.
+pub fn parse_server_args(args: &[String]) -> Result<ServerArgs, ConfigError> {
+    let mut parser = FlagParser::new(args)?;
+    let leader = parser.take_bool("--leader");
+    let node: Option<NodeId> = parser.take_parsed("--node")?;
+    let listen: Option<SocketAddr> = parser.take_parsed("--listen")?;
+    let heartbeat = parser.take_ms("--heartbeat-ms", 20)?;
+    let fail_timeout = parser.take_ms("--fail-timeout-ms", 300)?;
+    let drain_grace = parser.take_ms("--drain-grace-ms", 500)?;
+    let topology = parser.finish_topology()?;
+
+    let node = match (leader, node) {
+        (true, None) => LEADER_NODE,
+        (true, Some(n)) if n != LEADER_NODE => {
+            return err(format!("--leader runs as node {LEADER_NODE}; omit --node"));
+        }
+        (_, Some(n)) => n,
+        (false, None) => return err("missing --node <id> (or --leader)"),
+    };
+    let listen = match listen.or_else(|| topology.peers.get(&node).copied()) {
+        Some(a) => a,
+        None => {
+            return err(format!(
+                "no listen address: pass --listen or add peer.{node} to the config"
+            ))
+        }
+    };
+    Ok(ServerArgs {
+        node,
+        leader,
+        listen,
+        topology,
+        heartbeat,
+        fail_timeout,
+        drain_grace,
+    })
+}
+
+/// Parsed `ring-cli` command line: connection options plus the
+/// remaining positional words (the command and its operands).
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// This client's id (must be `>=` [`CLIENT_BASE`]). Defaults to a
+    /// pid-derived id: every `ring-cli` process is a distinct client,
+    /// and two processes sharing an id would receive each other's late
+    /// or duplicated responses (request ids restart at zero in every
+    /// process, so they alias).
+    pub id: NodeId,
+    /// The shared deployment description.
+    pub topology: ClusterTopology,
+    /// Per-attempt response timeout.
+    pub timeout: Duration,
+    /// Command and operands, e.g. `["put", "7", "hello"]`.
+    pub command: Vec<String>,
+}
+
+/// Parses the `ring-cli` command line (without the program name).
+///
+/// # Errors
+///
+/// [`ConfigError`] with a usage-style diagnostic.
+pub fn parse_cli_args(args: &[String]) -> Result<CliArgs, ConfigError> {
+    let mut parser = FlagParser::new(args)?;
+    let id: NodeId = parser
+        .take_parsed("--id")?
+        .unwrap_or_else(|| CLIENT_BASE + std::process::id() % 10_000);
+    let timeout = parser.take_ms("--timeout-ms", 1000)?;
+    let command = std::mem::take(&mut parser.positional);
+    let topology = parser.finish_topology()?;
+    if id < CLIENT_BASE {
+        return err(format!("client id {id} must be >= {CLIENT_BASE}"));
+    }
+    if command.is_empty() {
+        return err("missing command (put | get | del | move | stats | descriptor)");
+    }
+    Ok(CliArgs {
+        id,
+        topology,
+        timeout,
+        command,
+    })
+}
+
+/// Shared flag scanner for the two binaries: collects the topology
+/// flags into a map, leaves binary-specific flags to the caller.
+struct FlagParser {
+    flags: BTreeMap<String, Vec<String>>,
+    positional: Vec<String>,
+}
+
+impl FlagParser {
+    /// Flags that take a value (everything else is boolean or
+    /// positional).
+    const VALUED: [&'static str; 16] = [
+        "--config",
+        "--node",
+        "--listen",
+        "--peer",
+        "--s",
+        "--d",
+        "--groups",
+        "--nodes",
+        "--spares",
+        "--memgest",
+        "--default-memgest",
+        "--heartbeat-ms",
+        "--fail-timeout-ms",
+        "--drain-grace-ms",
+        "--id",
+        "--timeout-ms",
+    ];
+
+    fn new(args: &[String]) -> Result<FlagParser, ConfigError> {
+        let mut flags: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut positional = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(rest) = arg.strip_prefix("--") {
+                let flag = format!("--{}", rest.split('=').next().unwrap_or(rest));
+                let valued = Self::VALUED.contains(&flag.as_str());
+                let value = if let Some((_, v)) = arg.split_once('=') {
+                    Some(v.to_string())
+                } else if valued {
+                    it.next().cloned()
+                } else {
+                    None
+                };
+                if valued {
+                    match value {
+                        Some(v) => flags.entry(flag).or_default().push(v),
+                        None => return err(format!("flag {flag} needs a value")),
+                    }
+                } else {
+                    flags.entry(flag).or_default().push(String::new());
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(FlagParser { flags, positional })
+    }
+
+    fn take_bool(&mut self, flag: &str) -> bool {
+        self.flags.remove(flag).is_some()
+    }
+
+    fn take_one(&mut self, flag: &str) -> Result<Option<String>, ConfigError> {
+        match self.flags.remove(flag) {
+            None => Ok(None),
+            Some(mut vs) if vs.len() == 1 => Ok(vs.pop()),
+            Some(_) => err(format!("flag {flag} given more than once")),
+        }
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<Option<T>, ConfigError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.take_one(flag)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|e| ConfigError(format!("flag {flag} `{v}`: {e}"))),
+        }
+    }
+
+    fn take_ms(&mut self, flag: &str, default_ms: u64) -> Result<Duration, ConfigError> {
+        Ok(Duration::from_millis(
+            self.take_parsed::<u64>(flag)?.unwrap_or(default_ms),
+        ))
+    }
+
+    /// Consumes the topology flags: the `--config` file (if any) is the
+    /// base, individual flags override it.
+    fn finish_topology(mut self) -> Result<ClusterTopology, ConfigError> {
+        let mut topo = match self.take_one("--config")? {
+            Some(path) => {
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| ConfigError(format!("reading {path}: {e}")))?;
+                ClusterTopology::parse_file(&text)?
+            }
+            None => ClusterTopology::default(),
+        };
+        if let Some(s) = self.take_parsed("--s")? {
+            topo.s = s;
+        }
+        if let Some(d) = self.take_parsed("--d")? {
+            topo.d = d;
+        }
+        if let Some(g) = self.take_parsed("--groups")? {
+            topo.groups = g;
+        }
+        if let Some(nodes) = self.take_one("--nodes")? {
+            topo.nodes = parse_id_list(&nodes)?;
+        } else if topo.peers.is_empty() && topo.nodes.len() != topo.s + topo.d {
+            topo.nodes = (0..(topo.s + topo.d) as NodeId).collect();
+        }
+        if let Some(spares) = self.take_one("--spares")? {
+            topo.spares = parse_id_list(&spares)?;
+        }
+        if let Some(specs) = self.flags.remove("--memgest") {
+            topo.memgests = specs
+                .iter()
+                .map(|s| parse_scheme(s))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(d) = self.take_parsed("--default-memgest")? {
+            topo.default_memgest = d;
+        }
+        for spec in self.flags.remove("--peer").unwrap_or_default() {
+            let Some((id, addr)) = spec.split_once('=') else {
+                return err(format!("--peer `{spec}` must be <id>=<addr>"));
+            };
+            let id: NodeId = id
+                .trim()
+                .parse()
+                .map_err(|e| ConfigError(format!("--peer id `{id}`: {e}")))?;
+            let addr: SocketAddr = addr
+                .trim()
+                .parse()
+                .map_err(|e| ConfigError(format!("--peer address `{addr}`: {e}")))?;
+            topo.peers.insert(id, addr);
+        }
+        if let Some(unknown) = self.flags.keys().next() {
+            return err(format!("unknown flag {unknown}"));
+        }
+        topo.validate()?;
+        Ok(topo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_round_trip() {
+        let mut topo = ClusterTopology {
+            spares: vec![3],
+            nodes: vec![0, 1, 2],
+            memgests: vec![MemgestDescriptor::rep(2), MemgestDescriptor::srs(2, 1)],
+            ..ClusterTopology::default()
+        };
+        for id in [0u32, 1, 2, 3, LEADER_NODE] {
+            topo.peers.insert(
+                id,
+                format!("127.0.0.1:{}", 4700 + (id % 100)).parse().unwrap(),
+            );
+        }
+        let text = topo.to_file();
+        let back = ClusterTopology::parse_file(&text).unwrap();
+        assert_eq!(back, topo);
+    }
+
+    #[test]
+    fn scheme_specs() {
+        assert_eq!(parse_scheme("rep:3").unwrap(), MemgestDescriptor::rep(3));
+        assert_eq!(
+            parse_scheme("srs:2,1").unwrap(),
+            MemgestDescriptor::srs(2, 1)
+        );
+        let d = parse_scheme("srs:3,2@4096").unwrap();
+        assert_eq!(d.scheme, Scheme::Srs { k: 3, m: 2 });
+        assert_eq!(d.block_size, 4096);
+        assert!(parse_scheme("rep").is_err());
+        assert!(parse_scheme("xor:1").is_err());
+        assert!(parse_scheme("rep:0").is_err());
+        assert!(parse_scheme("srs:2").is_err());
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn server_flags() {
+        let a = parse_server_args(&args(&[
+            "--node",
+            "1",
+            "--listen",
+            "127.0.0.1:4701",
+            "--peer",
+            "0=127.0.0.1:4700",
+            "--peer",
+            "1=127.0.0.1:4701",
+            "--peer",
+            "2=127.0.0.1:4702",
+            "--memgest",
+            "rep:2",
+            "--drain-grace-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(a.node, 1);
+        assert!(!a.leader);
+        assert_eq!(a.listen, "127.0.0.1:4701".parse().unwrap());
+        assert_eq!(a.drain_grace, Duration::from_millis(250));
+        assert_eq!(a.topology.peers.len(), 3);
+    }
+
+    #[test]
+    fn leader_flag_implies_leader_node() {
+        let a = parse_server_args(&args(&["--leader", "--listen", "127.0.0.1:4799"])).unwrap();
+        assert_eq!(a.node, LEADER_NODE);
+        assert!(a.leader);
+        assert!(parse_server_args(&args(&["--leader", "--node", "3"])).is_err());
+    }
+
+    #[test]
+    fn missing_node_rejected() {
+        assert!(parse_server_args(&args(&["--listen", "127.0.0.1:4700"])).is_err());
+        assert!(
+            parse_server_args(&args(&["--node", "0"])).is_err(),
+            "no listen"
+        );
+        assert!(parse_server_args(&args(&["--node", "0", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn cli_command_words() {
+        let a =
+            parse_cli_args(&args(&["--peer", "0=127.0.0.1:4700", "put", "7", "hello"])).unwrap();
+        assert_eq!(a.command, vec!["put", "7", "hello"]);
+        // Default id is pid-derived but always in the client range.
+        assert!(a.id >= CLIENT_BASE && a.id < CLIENT_BASE + 10_000);
+        let b = parse_cli_args(&args(&[
+            "--peer",
+            "0=127.0.0.1:4700",
+            "--id",
+            "20042",
+            "get",
+            "1",
+        ]))
+        .unwrap();
+        assert_eq!(b.id, 20042);
+        assert!(parse_cli_args(&args(&["--peer", "0=127.0.0.1:4700"])).is_err());
+        assert!(parse_cli_args(&args(&["--id", "5", "get", "1"])).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Ring as actual OS processes.
+//!
+//! Everything below the protocol layer is already transport-generic
+//! (`ring_kvs::node::Node<T: Transport<Msg>>`); this crate supplies the
+//! pieces that turn one node into one *process*:
+//!
+//! - [`config`] — the `ring-server` / `ring-cli` configuration surface:
+//!   command-line flags plus an optional `key = value` cluster file, so
+//!   every process of a deployment can share one description of the
+//!   topology (ids, addresses, schemes).
+//! - [`signal`] — SIGTERM/SIGINT handling for graceful shutdown: the
+//!   server drains in-flight redundancy traffic and flushes its
+//!   statistics to stderr as one JSON line before exiting.
+//! - [`report`] — that JSON stats report (hand-rolled; the wire format
+//!   of the shutdown dump is part of the CLI contract, not an artifact
+//!   of a serialisation library).
+//! - [`harness`] — a loopback-cluster harness that boots real
+//!   `ring-server` processes on `127.0.0.1`, used by the integration
+//!   tests, the CI smoke job, and the bench's `tcp_loopback` section.
+//!
+//! The binaries themselves live in `src/bin/ring_server.rs` (a node or,
+//! with `--leader`, the membership leader) and `src/bin/ring_cli.rs`
+//! (puts/gets/moves from a separate process).
+
+pub mod config;
+pub mod harness;
+pub mod report;
+pub mod signal;

@@ -68,14 +68,24 @@ pub struct FileContext<'a> {
 }
 
 /// True if `rel_path` is inside a deterministic simulation path: the
-/// `src/` trees of `ring-net`, `ring-chaos` and `ring-core`. Bench and
-/// measurement code is exempt by construction (it lives in
-/// `crates/bench`), as are test trees (`tests/` is never scanned and
-/// inline `#[cfg(test)] mod` blocks are skipped token-wise).
+/// `src/` trees of `ring-net`, `ring-chaos`, `ring-core`, `ring-wire`
+/// and `ring-server`. The wire codec must be a pure function of its
+/// input; the server crate sits on the protocol's hot path and reads
+/// time only through `ring_net::clock`, so a node behaves identically
+/// under the simulated fabric and TCP. Bench and measurement code is
+/// exempt by construction (it lives in `crates/bench`), as are test
+/// trees (`tests/` is never scanned and inline `#[cfg(test)] mod`
+/// blocks are skipped token-wise).
 pub fn is_deterministic_path(rel_path: &str) -> bool {
-    ["crates/net/src/", "crates/chaos/src/", "crates/core/src/"]
-        .iter()
-        .any(|p| rel_path.starts_with(p))
+    [
+        "crates/net/src/",
+        "crates/chaos/src/",
+        "crates/core/src/",
+        "crates/wire/src/",
+        "crates/server/src/",
+    ]
+    .iter()
+    .any(|p| rel_path.starts_with(p))
 }
 
 /// Line spans covered by `#[cfg(test)] mod ... { ... }`, so rules can

@@ -1,0 +1,28 @@
+// Fixture: `crates/server`-shaped code written the sanctioned way —
+// deadlines through the fabric clock, ordered containers for child
+// processes, acquire/release (never relaxed) for the shutdown flag.
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Acquire)
+}
+
+fn await_ready(children: &BTreeMap<u32, u32>, timeout: Duration) -> Instant {
+    let deadline = ring_net::clock::now() + timeout;
+    for (id, port) in children {
+        let _ = (id, port);
+    }
+    deadline
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: a `crates/wire`-shaped codec that breaks the deterministic
+// contract — decode order depending on a hash table and an encoder
+// stamping ambient wall-clock time into the frame. Line numbers are
+// asserted by tests/lint_fixtures.rs.
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+struct Registry {
+    decoders: HashMap<u8, fn(&[u8]) -> u64>,
+}
+
+impl Registry {
+    fn try_all(&self, body: &[u8]) -> Vec<u64> {
+        self.decoders.values().map(|d| d(body)).collect() // line 14: flagged
+    }
+}
+
+fn stamp(out: &mut Vec<u8>) {
+    let _ = SystemTime::now(); // line 19: flagged
+    out.push(0);
+}

@@ -118,6 +118,70 @@ fn hashmap_iteration_negative() {
     assert_eq!(lint_fixture("hashmap_iteration_ok.rs", None), vec![]);
 }
 
+#[test]
+fn wire_crate_idioms_flagged() {
+    // Codec-shaped code: hash-ordered decoder dispatch and a wall-clock
+    // stamp are both violations on the (now deterministic) wire path.
+    assert_eq!(
+        lint_fixture("wire_codec_bad.rs", None),
+        vec![(14, rules::HASHMAP_ITERATION), (19, rules::AMBIENT_TIME)]
+    );
+}
+
+#[test]
+fn server_crate_idioms_clean() {
+    // Harness-shaped code written the sanctioned way (clock::now,
+    // BTreeMap, acquire/release shutdown flag) lints clean.
+    assert_eq!(lint_fixture("server_harness_ok.rs", None), vec![]);
+}
+
+#[test]
+fn deterministic_scope_covers_wire_and_server() {
+    for p in [
+        "crates/net/src/tcp.rs",
+        "crates/core/src/node/mod.rs",
+        "crates/wire/src/enc.rs",
+        "crates/server/src/harness.rs",
+    ] {
+        assert!(rules::is_deterministic_path(p), "{p} must be in scope");
+    }
+    for p in [
+        "crates/bench/src/measure.rs",
+        "crates/wire/tests/roundtrip.rs",
+        "crates/server/tests/loopback.rs",
+        "shims/proptest/src/lib.rs",
+    ] {
+        assert!(!rules::is_deterministic_path(p), "{p} must be exempt");
+    }
+}
+
+/// The workspace walk (crate-dir glob) picks up the new crates — a
+/// regression guard against hard-coded crate lists creeping back in.
+#[test]
+fn discover_walks_wire_and_server() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("repo root");
+    let ws = Workspace::discover(repo_root).expect("discover");
+    for expect in [
+        "crates/wire/src/lib.rs",
+        "crates/wire/src/enc.rs",
+        "crates/server/src/harness.rs",
+        "crates/server/src/bin/ring_server.rs",
+    ] {
+        assert!(
+            ws.files().iter().any(|f| f == expect),
+            "walk missed {expect}"
+        );
+    }
+    // Test trees and shims stay out of the lint surface.
+    assert!(ws
+        .files()
+        .iter()
+        .all(|f| !f.contains("/tests/") && !f.starts_with("shims/")));
+}
+
 /// End-to-end through the binary: JSON output carries the same
 /// file/line/rule triples and the exit code signals findings.
 #[test]

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Boots a Ring cluster as real OS processes on loopback TCP and drives
+# it with ring-cli: put/get/move, a stats probe, a hard node kill with
+# spare promotion, then a graceful SIGTERM teardown that must leave one
+# JSON stats line on every surviving server's stderr.
+#
+# Usage: scripts/server_smoke.sh [path-to-binaries]   (default target/release)
+#
+# Exits non-zero on any failure. Used by CI's `server-smoke` job; run
+# it locally after `cargo build --release -p ring-server`.
+set -euo pipefail
+
+BIN=${1:-target/release}
+WORK=$(mktemp -d)
+cleanup() {
+    # Reap whatever is still alive (only reached early on failure).
+    kill -9 $(jobs -p) 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# A pid-derived port base keeps concurrent runs on one host apart.
+BASE=$(( ($$ % 1000) + 4700 ))
+CONF="$WORK/ring.conf"
+cat > "$CONF" <<EOF
+s = 2
+d = 1
+nodes = 0,1,2
+spares = 3
+peer.0 = 127.0.0.1:$BASE
+peer.1 = 127.0.0.1:$((BASE + 1))
+peer.2 = 127.0.0.1:$((BASE + 2))
+peer.3 = 127.0.0.1:$((BASE + 3))
+peer.10000 = 127.0.0.1:$((BASE + 4))
+memgest = rep:2
+memgest = srs:2,1
+default_memgest = 0
+EOF
+
+declare -A PID_OF
+"$BIN/ring-server" --config "$CONF" --leader 2> "$WORK/leader.err" &
+PID_OF[leader]=$!
+for id in 0 1 2 3; do
+    "$BIN/ring-server" --config "$CONF" --node "$id" 2> "$WORK/node$id.err" &
+    PID_OF[$id]=$!
+done
+
+cli() { "$BIN/ring-cli" --config "$CONF" "$@"; }
+
+# The processes boot asynchronously; the first put doubles as the
+# readiness probe.
+for i in $(seq 1 100); do
+    if cli put 1 hello > /dev/null 2>&1; then break; fi
+    if [ "$i" = 100 ]; then echo "FAIL: cluster never became ready"; exit 1; fi
+    sleep 0.1
+done
+
+[ "$(cli get 1)" = hello ]
+cli put 2 world > /dev/null
+cli move 2 1 > /dev/null                 # Rep(2) -> SRS(2,1)
+[ "$(cli get 2)" = world ]
+cli stats 0 | grep -q 'node=0'
+
+# Hard-kill a coordinator; the leader must promote the spare and reads
+# must come back through metadata-first recovery.
+kill -9 "${PID_OF[0]}"
+for i in $(seq 1 200); do
+    if [ "$(cli get 1 2>/dev/null || true)" = hello ]; then break; fi
+    if [ "$i" = 200 ]; then echo "FAIL: key lost after node kill"; exit 1; fi
+    sleep 0.1
+done
+cli put 3 post-failover > /dev/null
+[ "$(cli get 3)" = post-failover ]
+
+# Graceful teardown: every surviving server must exit 0 and flush one
+# JSON stats line to stderr.
+status=0
+for who in 1 2 3 leader; do kill -TERM "${PID_OF[$who]}"; done
+for who in 1 2 3 leader; do
+    if ! wait "${PID_OF[$who]}"; then
+        echo "FAIL: $who exited unclean"
+        status=1
+    fi
+done
+wait "${PID_OF[0]}" 2> /dev/null || true # the murdered node
+for who in 1 2 3 leader; do
+    f="$WORK/node$who.err"
+    [ "$who" = leader ] && f="$WORK/leader.err"
+    if ! grep -q '"role"' "$f"; then
+        echo "FAIL: no JSON stats from $who:"
+        cat "$f"
+        status=1
+    fi
+done
+
+[ "$status" = 0 ] && echo "server smoke: ok"
+exit "$status"
