@@ -17,13 +17,20 @@
 //!   a previously committed baseline file; exits non-zero if any kernel
 //!   regressed by more than 3x (a guard against accidentally reverting
 //!   to byte-at-a-time loops, loose enough for shared-runner noise).
+//!   Also guards this run's own `tail_latency` section: the rows must
+//!   exist and p999 at Δ=1 must not exceed p999 at Δ=0.
 
+use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use ring_bench::hist::LatencyHistogram;
 use ring_bench::measure::{get_latency, move_latency, put_latency};
 use ring_bench::output::results_dir;
 use ring_bench::workbench::{memgest_id, paper_cluster};
+use ring_chaos::{StragglerProfile, StragglerSpec};
 use ring_gf::{region, Gf256};
+use ring_kvs::{Cluster, ClusterSpec};
 use ring_server::harness::{find_binary, LoopbackCluster, LoopbackSpec};
 use serde::Serialize;
 
@@ -53,8 +60,25 @@ struct TcpRow {
     scheme: String,
     value_len: usize,
     put_p50_us: f64,
+    put_p99_us: f64,
     get_p50_us: f64,
+    get_p99_us: f64,
     move_p50_us: f64,
+    move_p99_us: f64,
+}
+
+/// One tail-latency measurement: degraded SRS(3,2) gets after a
+/// coordinator failure, with a pinned straggler on the first-choice
+/// parity node and the speculative read fan-out at `k + delta`.
+#[derive(Serialize)]
+struct TailRow {
+    op: &'static str,
+    /// The Δ of the `k + Δ` fan-out this row ran with.
+    delta: usize,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    samples: u64,
 }
 
 #[derive(Serialize)]
@@ -65,6 +89,10 @@ struct Report {
     smoke: bool,
     gf: Vec<GfRow>,
     e2e: Vec<E2eRow>,
+    /// Degraded-read tail latency at Δ ∈ {0, 1, 2}: the late-binding
+    /// `k + Δ` fan-out must collapse the p999 a straggling redundancy
+    /// target would otherwise impose on every unlucky read.
+    tail_latency: Vec<TailRow>,
     /// Same protocol over real OS processes and loopback TCP (the
     /// `ring-server` deployment path). Empty when the server binaries
     /// were not built alongside the bench.
@@ -183,6 +211,101 @@ fn run_e2e(smoke: bool) -> (u64, Vec<E2eRow>) {
     (seed, rows)
 }
 
+/// Degraded-read tail latency vs the speculative fan-out Δ.
+///
+/// For each Δ ∈ {0, 1, 2}: boot the paper cluster with one spare and
+/// `read_fanout_extra = Δ`, preload SRS(3,2) keys, kill coordinator 0
+/// and wait for the spare's (metadata-only) promotion, then pin a
+/// seeded straggler on parity node 3 — the *first-choice* redundancy
+/// target of the rotation — and time one degraded get per surviving
+/// victim key into an HDR histogram. With Δ = 0 every decode must hear
+/// from the straggler; with Δ >= 1 the fan-out also contacts parity 4
+/// and the decode binds to the first `k` rows, so the straggle drops
+/// out of the tail.
+fn run_tail_latency(smoke: bool) -> Vec<TailRow> {
+    let keys_total = if smoke { 900u64 } else { 4500 };
+    let straggle = StragglerSpec {
+        slow_nodes: 1,
+        slow_prob: 0.4,
+        min_extra: Duration::from_millis(2),
+        max_extra: Duration::from_millis(8),
+    };
+    let mut rows = Vec::new();
+    for delta in [0usize, 1, 2] {
+        let cluster = Cluster::start(ClusterSpec {
+            spares: 1,
+            read_fanout_extra: delta,
+            // Generous client timeout: a straggled decode must be
+            // measured as latency, not amplified into retry traffic.
+            client_timeout: Duration::from_secs(2),
+            ..ClusterSpec::paper_evaluation()
+        });
+        let seed = cluster.spec().derived_seed("bench-tail-straggler");
+        let mut client = cluster.client();
+        let value = vec![0xEEu8; 1024];
+        let mut victims = Vec::new();
+        for key in 0..keys_total {
+            client
+                .put_to(key, &value, memgest_id("SRS32"))
+                .expect("preload");
+            if cluster.coordinator_of(key) == 0 {
+                victims.push(key);
+            }
+        }
+
+        // Kill the coordinator and wait out the spare promotion on a
+        // sacrificial probe key, so the measured gets see a promoted
+        // coordinator with data holes rather than failover noise.
+        cluster.kill(0);
+        let probe = victims.remove(0);
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match client.get(probe) {
+                Ok(_) => break,
+                Err(e) if Instant::now() >= deadline => {
+                    panic!("tail_latency: promotion never completed: {e:?}")
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+
+        // Straggle the first-choice parity only; decisions are seeded,
+        // so each Δ faces the identical slow-node schedule.
+        let prof = StragglerProfile::pinned(seed, straggle, BTreeSet::from([3u32]), None);
+        cluster.fabric().set_fault_injector(Arc::new(prof));
+
+        let mut hist = LatencyHistogram::new();
+        for key in victims {
+            let t0 = Instant::now();
+            loop {
+                match client.get(key) {
+                    Ok(_) => break,
+                    Err(e) if Instant::now() > t0 + Duration::from_secs(30) => {
+                        panic!("tail_latency: degraded get stuck at Δ={delta}: {e:?}")
+                    }
+                    Err(_) => {}
+                }
+            }
+            hist.record(t0.elapsed());
+        }
+        let t = hist.tail_summary();
+        println!(
+            "  Δ={delta}  degraded get p50 {:8.1}us  p99 {:8.1}us  p999 {:8.1}us  ({} samples)",
+            t.p50_us, t.p99_us, t.p999_us, t.samples
+        );
+        rows.push(TailRow {
+            op: "get_degraded_srs32",
+            delta,
+            p50_us: t.p50_us,
+            p99_us: t.p99_us,
+            p999_us: t.p999_us,
+            samples: t.samples,
+        });
+        cluster.shutdown();
+    }
+    rows
+}
+
 /// End-to-end latency over real `ring-server` processes on loopback
 /// TCP: the same put/get/move measurements as the simulated-fabric
 /// section, so the two transports sit side by side in the report.
@@ -241,20 +364,40 @@ fn run_tcp_loopback(smoke: bool) -> Vec<TcpRow> {
             key_base + 10_000_000,
         );
         println!(
-            "{scheme:>6} (tcp)  put p50 {:8.1}us  get p50 {:8.1}us  move p50 {:8.1}us",
-            put.median_us, get.median_us, mv.median_us
+            "{scheme:>6} (tcp)  put p50 {:8.1}us p99 {:8.1}us  get p50 {:8.1}us p99 {:8.1}us  \
+             move p50 {:8.1}us p99 {:8.1}us",
+            put.median_us, put.p99_us, get.median_us, get.p99_us, mv.median_us, mv.p99_us
         );
         rows.push(TcpRow {
             scheme: scheme.to_string(),
             value_len,
             put_p50_us: put.median_us,
+            put_p99_us: put.p99_us,
             get_p50_us: get.median_us,
+            get_p99_us: get.p99_us,
             move_p50_us: mv.median_us,
+            move_p99_us: mv.p99_us,
         });
     }
     drop(client);
     cluster.shutdown();
     rows
+}
+
+/// Guards the tail-latency section: the rows must exist and the
+/// speculative fan-out must actually have bought its win — p999 at
+/// Δ = 1 may not exceed p999 at Δ = 0, where a pinned straggler sat on
+/// the only contacted parity.
+fn check_tail(rows: &[TailRow]) -> Vec<String> {
+    let p999 = |d: usize| rows.iter().find(|r| r.delta == d).map(|r| r.p999_us);
+    match (p999(0), p999(1)) {
+        (Some(d0), Some(d1)) if d1 <= d0 => Vec::new(),
+        (Some(d0), Some(d1)) => vec![format!(
+            "tail_latency: p999 at Δ=1 ({d1:.0}us) exceeds Δ=0 ({d0:.0}us) — \
+             the speculative fan-out lost its late-binding win"
+        )],
+        _ => vec!["tail_latency rows for Δ=0 / Δ=1 missing".to_string()],
+    }
 }
 
 /// Compares GF throughput against a baseline report, returning the
@@ -306,6 +449,8 @@ fn main() {
         println!("  {:>12} len {:>6}: {:9.0} MB/s", r.op, r.len, r.mbps);
     }
     let (seed, e2e) = run_e2e(smoke);
+    println!("Degraded-read tail latency (straggling parity, k+Δ fan-out):");
+    let tail_latency = run_tail_latency(smoke);
     println!("TCP loopback (real ring-server processes):");
     let tcp_loopback = run_tcp_loopback(smoke);
 
@@ -315,6 +460,7 @@ fn main() {
         smoke,
         gf,
         e2e,
+        tail_latency,
         tcp_loopback,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -326,7 +472,8 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
         let baseline: serde_json::Value =
             serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad baseline JSON: {e}"));
-        let problems = check_against(&baseline, &report.gf);
+        let mut problems = check_against(&baseline, &report.gf);
+        problems.extend(check_tail(&report.tail_latency));
         if problems.is_empty() {
             println!("check vs {path}: ok");
         } else {

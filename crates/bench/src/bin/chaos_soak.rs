@@ -9,9 +9,11 @@
 //! - `RING_CHAOS_CLIENTS` (default 4): concurrent clients.
 //! - `RING_CHAOS_RUNS` (default 1): repeat the soak (same seed) to
 //!   exercise many interleavings of one schedule.
+//! - `RING_CHAOS_STRAGGLER` (default 0): set to 1 to layer the seeded
+//!   slow-node straggler profile over the message faults.
 
 use ring_bench::output::{header, write_json};
-use ring_chaos::{run_soak, CheckOutcome, SoakConfig};
+use ring_chaos::{run_soak, CheckOutcome, SoakConfig, StragglerSpec};
 
 #[derive(serde::Serialize)]
 struct Row {
@@ -27,6 +29,7 @@ struct Row {
     msgs_dropped: u64,
     msgs_duplicated: u64,
     msgs_delayed: u64,
+    straggles: u64,
     linearizable: bool,
     wall_s: f64,
 }
@@ -49,13 +52,21 @@ fn main() {
     let ops = env_u64("RING_CHAOS_OPS", 2500) as usize;
     let clients = env_u64("RING_CHAOS_CLIENTS", 4) as usize;
     let runs = env_u64("RING_CHAOS_RUNS", 1) as usize;
+    let straggler = env_u64("RING_CHAOS_STRAGGLER", 0) != 0;
 
     let mut cfg = SoakConfig::acceptance(seed);
     cfg.ops_per_client = ops;
     cfg.clients = clients;
+    if straggler {
+        cfg.straggler = Some(StragglerSpec::light());
+    }
 
     header(
-        "Chaos soak: REP3 + SRS(3,2) under drop/dup/delay + partition + crash",
+        if straggler {
+            "Chaos soak: REP3 + SRS(3,2) under drop/dup/delay + partition + crash + straggler"
+        } else {
+            "Chaos soak: REP3 + SRS(3,2) under drop/dup/delay + partition + crash"
+        },
         &["run", "ops", "timeouts", "dropped", "verdict", "wall"],
     );
 
@@ -91,6 +102,7 @@ fn main() {
             msgs_dropped: report.message_faults.1,
             msgs_duplicated: report.message_faults.2,
             msgs_delayed: report.message_faults.3,
+            straggles: report.straggles.1,
             linearizable: report.passed(),
             wall_s,
         });

@@ -22,6 +22,7 @@
 //! `results/` so EXPERIMENTS.md can be regenerated. Pass `--quick` for a
 //! fast smoke run with fewer repetitions.
 
+pub mod hist;
 pub mod measure;
 pub mod output;
 pub mod workbench;

@@ -8,7 +8,9 @@
 //!   `ring_net::FaultInjector` (per-message drop / duplicate / delay,
 //!   hence reorder), and a [`NemesisSpec`] timeline of coarse faults —
 //!   transient partitions and node crashes followed by spare promotion —
-//!   driven against the fabric by a [`nemesis::Nemesis`] thread.
+//!   driven against the fabric by a [`nemesis::Nemesis`] thread; the
+//!   companion [`straggler::StragglerProfile`] models chronically slow
+//!   nodes (delay-only, composable over a `FaultPlan`).
 //! - [`history`]: a [`RecordedClient`] wrapper around
 //!   `ring_kvs::RingClient` that logs every invocation/response pair
 //!   with wall-clock windows, unique value tags and returned versions.
@@ -26,11 +28,13 @@ pub mod checker;
 pub mod history;
 pub mod nemesis;
 pub mod soak;
+pub mod straggler;
 
 pub use checker::{check_history, CheckOutcome, Violation};
 pub use history::{History, HistoryRecorder, RecordedClient, Tag};
 pub use nemesis::{FaultPlan, MessageFaults, Nemesis, NemesisEvent, NemesisSpec};
 pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use straggler::{StragglerProfile, StragglerSpec};
 
 /// Order-sensitive FNV-1a-style accumulator used for schedule digests.
 ///

@@ -20,6 +20,7 @@ use ring_workload::{KeyDistribution, WorkloadGen, WorkloadSpec};
 use crate::checker::{check_history, CheckOutcome};
 use crate::history::HistoryRecorder;
 use crate::nemesis::{FaultPlan, MessageFaults, Nemesis, NemesisSpec};
+use crate::straggler::{StragglerProfile, StragglerSpec};
 use crate::Digest;
 
 /// Default in-flight pipeline depth of each scripted soak client. Deep
@@ -106,6 +107,9 @@ pub struct SoakConfig {
     pub memgests: Vec<MemgestId>,
     /// Message-fault probabilities.
     pub faults: MessageFaults,
+    /// Seeded straggler (slow-node) profile layered over the message
+    /// faults; `None` disables it.
+    pub straggler: Option<StragglerSpec>,
     /// Coarse-fault timeline spec.
     pub nemesis: NemesisSpec,
     /// In-flight pipeline depth per scripted client (1 = synchronous).
@@ -155,8 +159,32 @@ impl SoakConfig {
             move_ratio: 0.05,
             memgests: vec![0, 1],
             faults: MessageFaults::light(),
+            straggler: None,
             nemesis: NemesisSpec::standard(),
             window: SOAK_WINDOW,
+        }
+    }
+
+    /// [`SoakConfig::quick`] with a seeded straggler layered on top of
+    /// the message faults: linearizability must survive a chronically
+    /// slow node exactly as it survives drops and crashes.
+    pub fn quick_straggler(seed: u64) -> SoakConfig {
+        SoakConfig {
+            straggler: Some(StragglerSpec::light()),
+            ..SoakConfig::quick(seed)
+        }
+    }
+
+    /// [`SoakConfig::sequential`] plus a straggler schedule. Straggles
+    /// are delay-only, so the sequential synchronous run still records
+    /// a byte-identical history per seed — the determinism regression
+    /// re-runs under this preset to pin down that the straggler nemesis
+    /// perturbs *when* messages arrive but never *what* the protocol
+    /// decides.
+    pub fn sequential_straggler(seed: u64) -> SoakConfig {
+        SoakConfig {
+            straggler: Some(StragglerSpec::light()),
+            ..SoakConfig::sequential(seed)
         }
     }
 
@@ -247,6 +275,15 @@ impl SoakConfig {
         }
         let plan = FaultPlan::new(self.spec.derived_seed("faults"), self.faults);
         d.mix(plan.probe_digest((data_nodes + self.spec.spares) as u32, 64));
+        if let Some(spec) = self.straggler {
+            let prof = StragglerProfile::seeded(
+                self.spec.derived_seed("straggler"),
+                spec,
+                (data_nodes + self.spec.spares) as u32,
+                None,
+            );
+            d.mix(prof.probe_digest((data_nodes + self.spec.spares) as u32, 64));
+        }
         d.value()
     }
 }
@@ -270,6 +307,9 @@ pub struct SoakReport {
     pub crashes: usize,
     /// Messages (decided, dropped, duplicated, delayed) by the plan.
     pub message_faults: (u64, u64, u64, u64),
+    /// Straggler decisions `(decided, straggled)`; zeros when the run
+    /// had no straggler profile.
+    pub straggles: (u64, u64),
     /// The checker's verdict.
     pub checker: CheckOutcome,
     /// The full recorded history the verdict was computed over.
@@ -294,6 +334,14 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         .timeline(spec.derived_seed("nemesis"), data_nodes, spec.spares);
     let schedule_digest = cfg.schedule_digest();
     let plan = Arc::new(FaultPlan::new(spec.derived_seed("faults"), cfg.faults));
+    let straggler = cfg.straggler.map(|s| {
+        Arc::new(StragglerProfile::seeded(
+            spec.derived_seed("straggler"),
+            s,
+            (data_nodes + spec.spares) as u32,
+            Some(Arc::clone(&plan) as Arc<_>),
+        ))
+    });
 
     let cluster = Cluster::start(spec.clone());
     let recorder = HistoryRecorder::new();
@@ -308,9 +356,14 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         }
     }
 
-    cluster
-        .fabric()
-        .set_fault_injector(Arc::clone(&plan) as Arc<_>);
+    match &straggler {
+        Some(prof) => cluster
+            .fabric()
+            .set_fault_injector(Arc::clone(prof) as Arc<_>),
+        None => cluster
+            .fabric()
+            .set_fault_injector(Arc::clone(&plan) as Arc<_>),
+    }
     let nemesis = Nemesis::start(cluster.fabric().clone(), timeline);
 
     // Recorded clients are created on the main thread so recorder ids
@@ -373,6 +426,7 @@ pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
         partitions,
         crashes,
         message_faults: plan.counters(),
+        straggles: straggler.map_or((0, 0), |p| p.counters()),
         checker,
         history,
     }

@@ -1,0 +1,336 @@
+//! Seeded straggler profiles: chronically slow nodes.
+//!
+//! A [`StragglerProfile`] is a [`FaultInjector`] that models the tail
+//! of a real deployment — one or two nodes whose NIC, GC pauses, or
+//! noisy neighbours make them intermittently slow — without dropping a
+//! single message. It is the workload the speculative `k + Δ` read
+//! fan-out exists for: with `Δ = 0` a degraded read that happens to
+//! pick the slow parity waits out the full straggle, with `Δ >= 1` the
+//! decode late-binds to whichever rows land first and the tail
+//! collapses (see `BENCH_ring.json`'s `tail_latency` section).
+//!
+//! Like [`crate::FaultPlan`], every decision is a pure function of
+//! `(seed, from, to, n)` — the profile composes *over* an inner
+//! injector (straggle delays add on top of the inner plan's verdict) so
+//! soaks can run message corruption and stragglers together and still
+//! replay bit-identically from one seed.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ring_net::{FaultAction, FaultInjector, NodeId};
+
+use crate::{mix64, Digest};
+
+/// Shape of a straggler profile: how many nodes are slow and how slow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerSpec {
+    /// How many distinct nodes are chronically slow.
+    pub slow_nodes: usize,
+    /// Probability that a message touching a slow node (either
+    /// endpoint) is straggled.
+    pub slow_prob: f64,
+    /// Smallest injected straggle.
+    pub min_extra: Duration,
+    /// Largest injected straggle.
+    pub max_extra: Duration,
+}
+
+impl StragglerSpec {
+    /// One slow node, ~35% of its messages straggled by 0.5–2ms —
+    /// orders of magnitude above the RDMA-calibrated hop latency, well
+    /// below any failure-detection threshold.
+    pub fn light() -> StragglerSpec {
+        StragglerSpec {
+            slow_nodes: 1,
+            slow_prob: 0.35,
+            min_extra: Duration::from_micros(500),
+            max_extra: Duration::from_millis(2),
+        }
+    }
+}
+
+/// A seeded, deterministic slow-node [`FaultInjector`].
+///
+/// The straggle applied to the `n`-th message on a directed link is a
+/// pure function of `(seed, from, to, n)`; the slow-node set is a pure
+/// function of the seed. Messages are never dropped or duplicated —
+/// composition with an inner injector keeps the inner verdict and adds
+/// the straggle on top of any inner extra delay.
+pub struct StragglerProfile {
+    seed: u64,
+    spec: StragglerSpec,
+    slow: BTreeSet<NodeId>,
+    inner: Option<Arc<dyn FaultInjector>>,
+    seqs: Mutex<HashMap<(NodeId, NodeId), u64>>,
+    decisions: AtomicU64,
+    straggled: AtomicU64,
+}
+
+impl StragglerProfile {
+    /// Creates a profile whose slow-node set is drawn (seeded) from
+    /// `0..nodes`, straggling on top of `inner`'s verdicts (pass `None`
+    /// for a pure straggler).
+    pub fn seeded(
+        seed: u64,
+        spec: StragglerSpec,
+        nodes: u32,
+        inner: Option<Arc<dyn FaultInjector>>,
+    ) -> StragglerProfile {
+        StragglerProfile::pinned(
+            seed,
+            spec,
+            StragglerProfile::slow_set(seed, spec, nodes),
+            inner,
+        )
+    }
+
+    /// Creates a profile with an explicitly chosen slow-node set
+    /// (benchmarks pin the straggler to a known redundancy target so
+    /// `Δ = 0` provably waits on it).
+    pub fn pinned(
+        seed: u64,
+        spec: StragglerSpec,
+        slow: BTreeSet<NodeId>,
+        inner: Option<Arc<dyn FaultInjector>>,
+    ) -> StragglerProfile {
+        assert!(
+            (0.0..=1.0).contains(&spec.slow_prob),
+            "slow_prob {} outside [0, 1]",
+            spec.slow_prob
+        );
+        assert!(spec.min_extra <= spec.max_extra, "min_extra > max_extra");
+        StragglerProfile {
+            seed,
+            spec,
+            slow,
+            inner,
+            seqs: Mutex::new(HashMap::new()),
+            decisions: AtomicU64::new(0),
+            straggled: AtomicU64::new(0),
+        }
+    }
+
+    /// The seeded slow-node set for `0..nodes`: `spec.slow_nodes`
+    /// distinct draws, pure in the seed.
+    pub fn slow_set(seed: u64, spec: StragglerSpec, nodes: u32) -> BTreeSet<NodeId> {
+        let mut pool: Vec<NodeId> = (0..nodes).collect();
+        let mut slow = BTreeSet::new();
+        for ctr in 0..spec.slow_nodes.min(pool.len()) as u64 {
+            let i = mix64(seed ^ mix64(0x5710_u64 ^ ctr)) as usize % pool.len();
+            slow.insert(pool.swap_remove(i));
+        }
+        slow
+    }
+
+    /// The nodes this profile straggles.
+    pub fn slow_nodes(&self) -> &BTreeSet<NodeId> {
+        &self.slow
+    }
+
+    /// The straggle (if any) applied to the `seq`-th message on link
+    /// `from -> to`: a pure function, exposed so tests and digests can
+    /// replay the decision table.
+    pub fn straggle(&self, from: NodeId, to: NodeId, seq: u64) -> Option<Duration> {
+        if !self.slow.contains(&from) && !self.slow.contains(&to) {
+            return None;
+        }
+        let link = (u64::from(from) << 32) | u64::from(to);
+        let h = mix64(self.seed ^ mix64(link ^ 0x57_4A_66_1E) ^ mix64(seq));
+        // 53-bit uniform in [0, 1), same construction as FaultPlan.
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u >= self.spec.slow_prob {
+            return None;
+        }
+        let (lo, hi) = (
+            self.spec.min_extra.as_nanos() as u64,
+            self.spec.max_extra.as_nanos() as u64,
+        );
+        let extra = if hi > lo {
+            lo + mix64(h) % (hi - lo)
+        } else {
+            lo
+        };
+        Some(Duration::from_nanos(extra))
+    }
+
+    /// Digest of the straggle table over a probe grid plus the slow
+    /// set: the reproducibility witness for the straggler half of a
+    /// schedule.
+    pub fn probe_digest(&self, nodes: u32, seqs_per_link: u64) -> u64 {
+        let mut d = Digest::new();
+        for &n in &self.slow {
+            d.mix(u64::from(n));
+        }
+        for from in 0..nodes {
+            for to in 0..nodes {
+                if from == to {
+                    continue;
+                }
+                for seq in 0..seqs_per_link {
+                    d.mix(match self.straggle(from, to, seq) {
+                        None => 0,
+                        Some(extra) => 1 | (extra.as_nanos() as u64) << 1,
+                    });
+                }
+            }
+        }
+        d.value()
+    }
+
+    /// `(decided, straggled)` counters so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.decisions.load(Ordering::Relaxed),
+            self.straggled.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl FaultInjector for StragglerProfile {
+    fn on_message(&self, from: NodeId, to: NodeId, wire_bytes: usize) -> FaultAction {
+        let seq = {
+            let mut seqs = self.seqs.lock().unwrap();
+            let c = seqs.entry((from, to)).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        let base = match &self.inner {
+            Some(inner) => inner.on_message(from, to, wire_bytes),
+            None => FaultAction::Deliver,
+        };
+        match self.straggle(from, to, seq) {
+            None => base,
+            Some(extra) => {
+                self.straggled.fetch_add(1, Ordering::Relaxed);
+                match base {
+                    // A dropped message has no latency to add to.
+                    FaultAction::Drop => FaultAction::Drop,
+                    FaultAction::Deliver => FaultAction::Delay(extra),
+                    FaultAction::Delay(e) => FaultAction::Delay(e + extra),
+                    // Straggle the retransmitted copy; the first copy
+                    // already left the slow node before the stall.
+                    FaultAction::Duplicate(e) => FaultAction::Duplicate(e + extra),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nemesis::{FaultPlan, MessageFaults};
+
+    #[test]
+    fn slow_set_is_seeded_and_distinct() {
+        let spec = StragglerSpec {
+            slow_nodes: 3,
+            ..StragglerSpec::light()
+        };
+        let a = StragglerProfile::slow_set(5, spec, 7);
+        let b = StragglerProfile::slow_set(5, spec, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3, "distinct draws");
+        assert!(a.iter().all(|&n| n < 7));
+        // Different seeds must still produce valid (distinct, in-range)
+        // sets; the probe digest, not the set, distinguishes seeds.
+        let c = StragglerProfile::slow_set(6, spec, 7);
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|&n| n < 7));
+    }
+
+    #[test]
+    fn straggles_are_pure_and_only_touch_slow_links() {
+        let p = StragglerProfile::seeded(9, StragglerSpec::light(), 5, None);
+        let q = StragglerProfile::seeded(9, StragglerSpec::light(), 5, None);
+        assert_eq!(p.slow_nodes(), q.slow_nodes());
+        assert_eq!(p.probe_digest(5, 128), q.probe_digest(5, 128));
+        let slow = *p.slow_nodes().iter().next().unwrap();
+        for from in 0..5u32 {
+            for to in 0..5u32 {
+                if from == to {
+                    continue;
+                }
+                for seq in 0..64 {
+                    assert_eq!(p.straggle(from, to, seq), q.straggle(from, to, seq));
+                    if !p.slow_nodes().contains(&from) && !p.slow_nodes().contains(&to) {
+                        assert_eq!(p.straggle(from, to, seq), None);
+                    }
+                }
+            }
+        }
+        // The slow node's links do get straggled at roughly slow_prob.
+        let fast = (0..5u32).find(|n| !p.slow_nodes().contains(n)).unwrap();
+        let hits = (0..10_000u64)
+            .filter(|&s| p.straggle(fast, slow, s).is_some())
+            .count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.35).abs() < 0.03, "straggle rate {rate}");
+    }
+
+    #[test]
+    fn straggle_bounds_respected() {
+        let spec = StragglerSpec::light();
+        let p = StragglerProfile::seeded(3, spec, 4, None);
+        let slow = *p.slow_nodes().iter().next().unwrap();
+        let other = (0..4u32).find(|&n| n != slow).unwrap();
+        for seq in 0..4096 {
+            if let Some(extra) = p.straggle(slow, other, seq) {
+                assert!(extra >= spec.min_extra && extra < spec.max_extra);
+            }
+        }
+    }
+
+    #[test]
+    fn composes_over_inner_plan() {
+        // Straggle adds on top of the inner verdict and never turns a
+        // drop into a delivery (or vice versa).
+        let inner = Arc::new(FaultPlan::new(7, MessageFaults::light()));
+        let spec = StragglerSpec {
+            slow_prob: 1.0, // Straggle everything touching the slow node.
+            ..StragglerSpec::light()
+        };
+        let p = StragglerProfile::seeded(7, spec, 4, Some(Arc::clone(&inner) as Arc<_>));
+        let slow = *p.slow_nodes().iter().next().unwrap();
+        let other = (0..4u32).find(|&n| n != slow).unwrap();
+        for seq in 0..2048 {
+            let base = inner.decide(slow, other, seq);
+            let combined = p.on_message(slow, other, 64);
+            match (base, combined) {
+                (FaultAction::Drop, FaultAction::Drop) => {}
+                (FaultAction::Deliver, FaultAction::Delay(e)) => {
+                    assert!(e >= spec.min_extra);
+                }
+                (FaultAction::Delay(b), FaultAction::Delay(c)) => assert!(c > b),
+                (FaultAction::Duplicate(b), FaultAction::Duplicate(c)) => assert!(c > b),
+                other => panic!("bad composition at seq {seq}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pure_straggler_never_drops() {
+        let p = StragglerProfile::seeded(11, StragglerSpec::light(), 5, None);
+        for seq in 0..4096u64 {
+            let _ = seq;
+        }
+        for from in 0..5u32 {
+            for to in 0..5u32 {
+                if from == to {
+                    continue;
+                }
+                for _ in 0..32 {
+                    match p.on_message(from, to, 128) {
+                        FaultAction::Deliver | FaultAction::Delay(_) => {}
+                        bad => panic!("pure straggler produced {bad:?}"),
+                    }
+                }
+            }
+        }
+    }
+}

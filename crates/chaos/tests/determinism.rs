@@ -67,6 +67,52 @@ fn sequential_soak_replays_byte_identical() {
     }
 }
 
+/// Satellite regression for the straggler nemesis: straggles are
+/// delay-only, so a sequential synchronous soak under a seeded
+/// straggler schedule must still record a byte-identical history — the
+/// slow node changes when messages arrive, never what the protocol
+/// decides.
+#[test]
+fn sequential_straggler_soak_replays_byte_identical() {
+    let cfg = SoakConfig::sequential_straggler(seed());
+
+    let a = run_soak(&cfg);
+    let b = run_soak(&cfg);
+
+    assert!(a.passed(), "first run must linearize: {:?}", a.checker);
+    assert!(b.passed(), "second run must linearize: {:?}", b.checker);
+    assert_eq!(a.schedule_digest, b.schedule_digest, "schedule diverged");
+    // The straggler actually fired (delay-only, so no timeouts).
+    assert!(
+        a.straggles.1 > 0,
+        "straggler never straggled: {:?}",
+        a.straggles
+    );
+    assert_eq!(
+        (a.timeouts, a.failures),
+        (0, 0),
+        "straggles must not fail ops"
+    );
+    assert_eq!(
+        (b.timeouts, b.failures),
+        (0, 0),
+        "straggles must not fail ops"
+    );
+    assert_eq!(
+        a.history.canonical_bytes(),
+        b.history.canonical_bytes(),
+        "straggled histories diverge (seed {:#x})",
+        a.seed
+    );
+    // The straggler perturbs the schedule digest relative to the plain
+    // sequential preset: it is part of the seeded schedule, not noise.
+    assert_ne!(
+        a.schedule_digest,
+        SoakConfig::sequential(a.seed).schedule_digest(),
+        "straggler absent from schedule digest"
+    );
+}
+
 #[test]
 fn different_seeds_record_different_histories() {
     let a = run_soak(&SoakConfig::sequential(1));

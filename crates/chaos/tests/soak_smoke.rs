@@ -27,6 +27,20 @@ fn quick_soak_linearizes_under_faults() {
 }
 
 #[test]
+fn quick_soak_linearizes_under_stragglers() {
+    let cfg = SoakConfig::quick_straggler(0x57A6);
+    let report = run_soak(&cfg);
+    assert!(
+        report.passed(),
+        "straggler soak failed for seed {:#x}: {:?}",
+        report.seed,
+        report.checker
+    );
+    let (decided, straggled) = report.straggles;
+    assert!(straggled > 0, "no straggles in {decided} decisions");
+}
+
+#[test]
 fn same_seed_same_schedule() {
     let a = SoakConfig::quick(77).schedule_digest();
     let b = SoakConfig::quick(77).schedule_digest();

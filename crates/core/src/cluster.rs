@@ -53,6 +53,10 @@ pub struct ClusterSpec {
     /// Proactive background data recovery after promotions (Section
     /// 5.5); off by default so Figure 13 measures cold on-demand decode.
     pub background_recovery: bool,
+    /// Δ of the speculative `k + Δ` degraded-read fan-out (extra
+    /// redundancy targets contacted per recovery read; the decode binds
+    /// to the first `k` stripe rows that arrive).
+    pub read_fanout_extra: usize,
     /// Master randomness seed. The protocol itself uses no randomness;
     /// workload generators and chaos harnesses derive their streams
     /// from this one value (see [`ClusterSpec::derived_seed`]) so that
@@ -77,6 +81,7 @@ impl Default for ClusterSpec {
             replica_ack_delay: Duration::ZERO,
             sync_replication: false,
             background_recovery: false,
+            read_fanout_extra: 1,
             seed: 0x52_49_4E_47, // "RING"
         }
     }
@@ -163,6 +168,7 @@ impl Cluster {
                 replica_ack_delay: spec.replica_ack_delay,
                 sync_replication: spec.sync_replication,
                 background_recovery: spec.background_recovery,
+                read_fanout_extra: spec.read_fanout_extra,
                 ..NodeOptions::default()
             };
             let cfg = config.clone();

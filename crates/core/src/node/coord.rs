@@ -390,12 +390,7 @@ impl<T: Transport<Msg>> Node<T> {
             }
         }
 
-        for w in waiters {
-            match w {
-                Waiter::Get(client) => self.answer_get(g, mid, key, version, client),
-                Waiter::Move { client, dst } => self.do_move(g, key, dst, client),
-            }
-        }
+        self.release_waiters(g, mid, vec![(key, version, waiters)]);
 
         if !self.opts.keep_old_versions {
             self.prune_below(g, key, version);
@@ -719,8 +714,9 @@ impl<T: Transport<Msg>> Node<T> {
     }
 
     /// Sends the on-demand recovery request for a missing value,
-    /// rotating over the redundancy targets by attempt number so a dead
-    /// or still-rebuilding holder cannot wedge the waiters.
+    /// speculatively fanning out to `1 + Δ` redundancy targets (rotated
+    /// by attempt number so a dead or still-rebuilding holder cannot
+    /// wedge the waiters) and binding to whichever answers first.
     #[allow(clippy::too_many_arguments)]
     fn request_data_recovery(
         &mut self,
@@ -738,19 +734,29 @@ impl<T: Transport<Msg>> Node<T> {
             Scheme::Rep { r } => {
                 let targets = self.config.replica_targets(g, shard, r);
                 if !targets.is_empty() {
-                    let target = targets[attempt as usize % targets.len()];
-                    let _ = self.ep.send(
-                        target,
-                        Msg::FetchValue {
-                            group: g,
-                            memgest: mid,
-                            key,
-                            version,
-                        },
-                    );
+                    // Ask 1 + Δ distinct replicas at once; the first
+                    // copy to arrive wins, later ones are idempotent.
+                    let fanout = (1 + self.opts.read_fanout_extra).min(targets.len());
+                    for c in 0..fanout {
+                        let target = targets[(attempt as usize + c) % targets.len()];
+                        let _ = self.ep.send(
+                            target,
+                            Msg::FetchValue {
+                                group: g,
+                                memgest: mid,
+                                key,
+                                version,
+                            },
+                        );
+                    }
                 }
             }
             Scheme::Srs { m, .. } => {
+                if self.start_spec_read(g, shard, mid, addr, len, attempt) {
+                    return;
+                }
+                // Degenerate range (or no parity targets): the delegated
+                // single-parity decode still covers it.
                 let targets = self.config.parity_targets(g, m);
                 if !targets.is_empty() {
                     let parity = targets[attempt as usize % targets.len()];
@@ -764,6 +770,420 @@ impl<T: Transport<Msg>> Node<T> {
                             len,
                         },
                     );
+                }
+            }
+        }
+    }
+
+    /// Starts a speculative `k + Δ` shard read for a lost SRS heap range:
+    /// requests the `k - 1` surviving lane blocks from the peer
+    /// coordinators plus the matching parity bytes from `1 + Δ` parity
+    /// nodes, and decodes locally from whichever `k` stripe rows arrive
+    /// first ([`Node::handle_shard_read_resp`]). Returns `false` when the
+    /// fan-out cannot be built (empty range, no parity targets, unknown
+    /// memgest) and the caller should fall back to the delegated decode.
+    fn start_spec_read(
+        &mut self,
+        g: GroupId,
+        shard: usize,
+        mid: MemgestId,
+        addr: usize,
+        len: usize,
+        attempt: u8,
+    ) -> bool {
+        use super::{SpecPeer, SpecRead};
+        let Some(coord) = self.groups.get(&g).and_then(|gs| gs.coord.get(&mid)) else {
+            return false;
+        };
+        let CoordStore::Srs { layout, .. } = &coord.store else {
+            return false;
+        };
+        let segs = layout.split_range(shard, addr, len);
+        if segs.is_empty() {
+            return false;
+        }
+        let params = layout.code().params();
+        let (k, m) = (params.k, params.m);
+        let parity_nodes = self.config.parity_targets(g, m);
+        if parity_nodes.is_empty() {
+            return false;
+        }
+        // The surviving lane peers: every stripe row of each segment
+        // except our own (each data source lives on exactly one peer
+        // coordinator, so these rows have a single possible server).
+        let mut peers: std::collections::BTreeMap<NodeId, SpecPeer> =
+            std::collections::BTreeMap::new();
+        for (i, seg) in segs.iter().enumerate() {
+            for j in 0..k {
+                if j == seg.source {
+                    continue;
+                }
+                let (peer_idx, peer_addr) = layout.peer_addr(seg, j);
+                let node = self.config.coordinator(g, peer_idx);
+                let p = peers.entry(node).or_insert_with(|| SpecPeer {
+                    parts: Vec::new(),
+                    ranges: Vec::new(),
+                    parity: false,
+                });
+                p.parts.push((i, j));
+                p.ranges.push((peer_addr, seg.len));
+            }
+        }
+        // 1 + Δ parity nodes (rotated by attempt); the rest stay in
+        // reserve, promoted one at a time if a contacted peer declines.
+        let fanout = (1 + self.opts.read_fanout_extra).min(parity_nodes.len());
+        let mut reserve = Vec::new();
+        for c in 0..parity_nodes.len() {
+            let p_idx = (attempt as usize + c) % parity_nodes.len();
+            let node = parity_nodes[p_idx];
+            if c < fanout {
+                let p = peers.entry(node).or_insert_with(|| SpecPeer {
+                    parts: Vec::new(),
+                    ranges: Vec::new(),
+                    parity: true,
+                });
+                for (i, seg) in segs.iter().enumerate() {
+                    p.parts.push((i, k + p_idx));
+                    p.ranges.push((seg.parity_addr, seg.len));
+                }
+            } else {
+                reserve.push((p_idx, node));
+            }
+        }
+        let token = self.next_spec_token;
+        self.next_spec_token += 1;
+        for (&node, p) in &peers {
+            let _ = self.ep.send(
+                node,
+                Msg::ShardRead {
+                    group: g,
+                    memgest: mid,
+                    token,
+                    parity: p.parity,
+                    ranges: p.ranges.clone(),
+                },
+            );
+        }
+        self.spec_reads.insert(
+            token,
+            SpecRead {
+                group: g,
+                memgest: mid,
+                addr,
+                len,
+                segs,
+                k,
+                peers,
+                responses: std::collections::BTreeMap::new(),
+                declined: std::collections::BTreeSet::new(),
+                reserve,
+                attempt,
+                sent_at: ring_net::clock::now(),
+            },
+        );
+        true
+    }
+
+    /// Fan-in of a speculative shard read. Responses for unknown tokens
+    /// are stragglers past the decode point (or past an expiry) and are
+    /// dropped — that is the cancellation: late arrivals cost one branch.
+    pub(crate) fn handle_shard_read_resp(
+        &mut self,
+        from: NodeId,
+        g: GroupId,
+        mid: MemgestId,
+        token: u64,
+        bytes: Option<Payload>,
+    ) {
+        let Some(sr) = self.spec_reads.get_mut(&token) else {
+            return;
+        };
+        if sr.group != g || sr.memgest != mid {
+            return;
+        }
+        let Some(peer) = sr.peers.get(&from) else {
+            return;
+        };
+        if sr.responses.contains_key(&from) || sr.declined.contains(&from) {
+            return; // Duplicate delivery.
+        }
+        let expected: usize = peer.ranges.iter().map(|&(_, len)| len).sum();
+        match bytes {
+            Some(b) if b.len() == expected => {
+                sr.responses.insert(from, b);
+            }
+            _ => {
+                sr.declined.insert(from);
+            }
+        }
+        self.advance_spec_read(token);
+    }
+
+    /// Tries to decode; if the read is still short of `k` rows for some
+    /// segment, promotes reserve parities to keep it satisfiable, or
+    /// abandons it for the delegated-decode fallback.
+    fn advance_spec_read(&mut self, token: u64) {
+        if self.try_complete_spec_read(token) {
+            return;
+        }
+        let mut sends: Vec<(NodeId, Msg)> = Vec::new();
+        let mut fall_back = false;
+        {
+            let Some(sr) = self.spec_reads.get_mut(&token) else {
+                return;
+            };
+            loop {
+                let feasible = (0..sr.segs.len()).all(|i| {
+                    let mut rows = std::collections::BTreeSet::new();
+                    for (node, peer) in &sr.peers {
+                        if sr.declined.contains(node) {
+                            continue;
+                        }
+                        for &(si, row) in &peer.parts {
+                            if si == i {
+                                rows.insert(row);
+                            }
+                        }
+                    }
+                    rows.len() >= sr.k
+                });
+                if feasible {
+                    break;
+                }
+                let Some((p_idx, node)) = sr.reserve.pop() else {
+                    fall_back = true;
+                    break;
+                };
+                let mut peer = super::SpecPeer {
+                    parts: Vec::new(),
+                    ranges: Vec::new(),
+                    parity: true,
+                };
+                for (i, seg) in sr.segs.iter().enumerate() {
+                    peer.parts.push((i, sr.k + p_idx));
+                    peer.ranges.push((seg.parity_addr, seg.len));
+                }
+                sends.push((
+                    node,
+                    Msg::ShardRead {
+                        group: sr.group,
+                        memgest: sr.memgest,
+                        token,
+                        parity: true,
+                        ranges: peer.ranges.clone(),
+                    },
+                ));
+                sr.peers.insert(node, peer);
+            }
+        }
+        if fall_back {
+            let sr = self.spec_reads.remove(&token).expect("present");
+            self.spec_read_fallback(sr);
+            return;
+        }
+        for (node, msg) in sends {
+            let _ = self.ep.send(node, msg);
+        }
+    }
+
+    /// Attempts the late-binding decode: succeeds the moment every
+    /// segment has `k` distinct stripe rows among the arrived responses.
+    /// Returns `true` when the spec read is finished (installed or moot).
+    fn try_complete_spec_read(&mut self, token: u64) -> bool {
+        let decoded = {
+            let Some(sr) = self.spec_reads.get(&token) else {
+                return true;
+            };
+            let Some(coord) = self
+                .groups
+                .get(&sr.group)
+                .and_then(|gs| gs.coord.get(&sr.memgest))
+            else {
+                self.spec_reads.remove(&token);
+                return true;
+            };
+            let CoordStore::Srs { layout, .. } = &coord.store else {
+                self.spec_reads.remove(&token);
+                return true;
+            };
+            let rs = layout.code().rs();
+            let mut out = vec![0u8; sr.len];
+            for (i, seg) in sr.segs.iter().enumerate() {
+                let mut have: Vec<(usize, &[u8])> = Vec::new();
+                for (node, payload) in &sr.responses {
+                    let peer = &sr.peers[node];
+                    let mut off = 0usize;
+                    for (&(si, row), &(_, rlen)) in peer.parts.iter().zip(peer.ranges.iter()) {
+                        if si == i {
+                            have.push((row, &payload[off..off + rlen]));
+                        }
+                        off += rlen;
+                    }
+                }
+                match rs.recover_source(seg.source, &have) {
+                    Ok(bytes) => {
+                        let off = seg.data_addr - sr.addr;
+                        out[off..off + seg.len].copy_from_slice(&bytes);
+                    }
+                    Err(_) => return false, // Short of k rows so far.
+                }
+            }
+            out
+        };
+        let sr = self.spec_reads.remove(&token).expect("present");
+        self.install_recovered_range(sr.group, sr.memgest, sr.addr, &decoded);
+        true
+    }
+
+    /// Abandons a speculative read in favour of the pre-speculation
+    /// path: a delegated decode at a single parity node (which gathers
+    /// the lane blocks itself with one-sided reads).
+    fn spec_read_fallback(&mut self, sr: super::SpecRead) {
+        let Some(gs) = self.groups.get(&sr.group) else {
+            return;
+        };
+        let Some(shard) = gs.shard else {
+            return;
+        };
+        let Some(coord) = gs.coord.get(&sr.memgest) else {
+            return;
+        };
+        let Scheme::Srs { m, .. } = coord.desc.scheme else {
+            return;
+        };
+        let targets = self.config.parity_targets(sr.group, m);
+        if targets.is_empty() {
+            return;
+        }
+        let parity = targets[sr.attempt as usize % targets.len()];
+        let _ = self.ep.send(
+            parity,
+            Msg::RecoverBlock {
+                group: sr.group,
+                memgest: sr.memgest,
+                shard,
+                addr: sr.addr,
+                len: sr.len,
+            },
+        );
+    }
+
+    /// Expires speculative reads whose stragglers never arrived (dead
+    /// links), handing the range to the fallback path.
+    pub(crate) fn expire_spec_reads(&mut self, now: std::time::Instant) {
+        const SPEC_RETRY: std::time::Duration = std::time::Duration::from_millis(150);
+        let expired: Vec<u64> = self
+            .spec_reads
+            .iter()
+            .filter(|(_, sr)| now.duration_since(sr.sent_at) >= SPEC_RETRY)
+            .map(|(&t, _)| t)
+            .collect();
+        for t in expired {
+            let sr = self.spec_reads.remove(&t).expect("present");
+            self.spec_read_fallback(sr);
+        }
+    }
+
+    /// Writes a recovered byte range into the SRS heap, marks every
+    /// entry fully contained in it as present, and releases their parked
+    /// requests (shared by the speculative decode and the delegated
+    /// `RecoverBlockResp` path).
+    pub(crate) fn install_recovered_range(
+        &mut self,
+        g: GroupId,
+        mid: MemgestId,
+        addr: usize,
+        bytes: &[u8],
+    ) {
+        let Some(gs) = self.groups.get_mut(&g) else {
+            return;
+        };
+        let Some(coord) = gs.coord.get_mut(&mid) else {
+            return;
+        };
+        let end = addr + bytes.len();
+        if let CoordStore::Srs { heap, .. } = &mut coord.store {
+            heap.reserve_upto(end);
+            // The recovered range replaces zeroed bytes; write directly.
+            heap.region()
+                .write(addr, bytes)
+                .expect("reserved range is in bounds");
+        } else {
+            return;
+        }
+        let recovered: Vec<(Key, Version)> = coord
+            .meta
+            .iter()
+            .filter(|(_, _, e)| !e.data_present && e.addr >= addr && e.addr + e.len <= end)
+            .map(|(k, v, _)| (k, v))
+            .collect();
+        let mut releases = Vec::new();
+        for (k, v) in recovered {
+            if let Some(e) = coord.meta.get_mut(k, v) {
+                e.data_present = true;
+                e.fetching = false;
+                releases.push((k, v, std::mem::take(&mut e.waiters)));
+            }
+        }
+        self.release_waiters(g, mid, releases);
+    }
+
+    /// Reads the committed value of `(key, version)` if it is locally
+    /// present and live; `None` sends the caller down the slow per-waiter
+    /// path.
+    fn read_committed_value(
+        &self,
+        g: GroupId,
+        mid: MemgestId,
+        key: Key,
+        version: Version,
+    ) -> Option<Payload> {
+        let gs = self.groups.get(&g)?;
+        let coord = gs.coord.get(&mid)?;
+        let e = coord.meta.get(key, version)?;
+        if e.tombstone || !e.committed || !e.data_present {
+            return None;
+        }
+        Some(match &coord.store {
+            CoordStore::Rep { values } => values
+                .get(&(key, version))
+                .cloned()
+                .unwrap_or_else(Payload::empty),
+            CoordStore::Srs { heap, .. } => Payload::from(heap.read(e.addr, e.len)),
+        })
+    }
+
+    /// Releases parked requests after an entry's bytes became available,
+    /// materializing each value once and answering every parked get with
+    /// a clone of the same `Arc`-backed payload — the fan-in stays
+    /// zero-copy no matter how many clients piled onto the entry.
+    pub(crate) fn release_waiters(
+        &mut self,
+        g: GroupId,
+        mid: MemgestId,
+        releases: Vec<(Key, Version, Vec<Waiter>)>,
+    ) {
+        for (key, version, waiters) in releases {
+            let mut shared: Option<Payload> = None;
+            for w in waiters {
+                match w {
+                    Waiter::Get(client) => {
+                        if shared.is_none() {
+                            shared = self.read_committed_value(g, mid, key, version);
+                        }
+                        match &shared {
+                            Some(v) => {
+                                let value = v.clone();
+                                self.respond(
+                                    client.0,
+                                    client.1,
+                                    ClientResp::GetOk { value, version },
+                                );
+                            }
+                            None => self.answer_get(g, mid, key, version, client),
+                        }
+                    }
+                    Waiter::Move { client, dst } => self.do_move(g, key, dst, client),
                 }
             }
         }
@@ -819,12 +1239,7 @@ impl<T: Transport<Msg>> Node<T> {
         if let CoordStore::Rep { values } = &mut coord.store {
             values.insert((key, version), value);
         }
-        for w in waiters {
-            match w {
-                Waiter::Get(client) => self.answer_get(g, mid, key, version, client),
-                Waiter::Move { client, dst } => self.do_move(g, key, dst, client),
-            }
-        }
+        self.release_waiters(g, mid, vec![(key, version, waiters)]);
     }
 
     /// Handles a decoded block arriving from a parity node.
@@ -870,38 +1285,7 @@ impl<T: Transport<Msg>> Node<T> {
             }
             return;
         };
-        let end = addr + bytes.len();
-        if let CoordStore::Srs { heap, .. } = &mut coord.store {
-            heap.reserve_upto(end);
-            // The recovered range replaces zeroed bytes; write directly.
-            heap.region()
-                .write(addr, &bytes)
-                .expect("reserved range is in bounds");
-        } else {
-            return;
-        }
-        let recovered: Vec<(Key, Version)> = coord
-            .meta
-            .iter()
-            .filter(|(_, _, e)| !e.data_present && e.addr >= addr && e.addr + e.len <= end)
-            .map(|(k, v, _)| (k, v))
-            .collect();
-        let mut releases = Vec::new();
-        for (k, v) in recovered {
-            if let Some(e) = coord.meta.get_mut(k, v) {
-                e.data_present = true;
-                e.fetching = false;
-                releases.push((k, v, std::mem::take(&mut e.waiters)));
-            }
-        }
-        for (k, v, waiters) in releases {
-            for w in waiters {
-                match w {
-                    Waiter::Get(client) => self.answer_get(g, mid, k, v, client),
-                    Waiter::Move { client, dst } => self.do_move(g, k, dst, client),
-                }
-            }
-        }
+        self.install_recovered_range(g, mid, addr, &bytes);
     }
 
     /// Builds and returns this node's introspection report.

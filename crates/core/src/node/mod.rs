@@ -54,6 +54,12 @@ pub struct NodeOptions {
     pub initial_memgests: Vec<(MemgestId, MemgestDescriptor)>,
     /// The default memgest for `put(key, value)` without an explicit id.
     pub default_memgest: MemgestId,
+    /// Δ of the speculative `k + Δ` read fan-out: how many redundancy
+    /// targets beyond the minimum a degraded read contacts. The
+    /// coordinator decodes from whichever responses arrive first and
+    /// ignores the stragglers (Hydra-style late binding), so higher Δ
+    /// trades fabric traffic for tail latency under slow nodes.
+    pub read_fanout_extra: usize,
 }
 
 impl Default for NodeOptions {
@@ -68,6 +74,7 @@ impl Default for NodeOptions {
             background_recovery: false,
             initial_memgests: vec![(0, MemgestDescriptor::rep(1))],
             default_memgest: 0,
+            read_fanout_extra: 1,
         }
     }
 }
@@ -173,6 +180,51 @@ pub(crate) struct PendingFetch {
     pub sent_at: Instant,
 }
 
+/// One contacted peer of a speculative shard read: which stripe rows it
+/// serves and the exact byte ranges requested (its response is the
+/// concatenation of those ranges, in order).
+#[derive(Debug)]
+pub(crate) struct SpecPeer {
+    /// `(segment index, stripe row)` per requested range. Rows `< k` are
+    /// data sources; row `k + p` is parity node `p`.
+    pub parts: Vec<(usize, usize)>,
+    /// Requested `(addr, len)` ranges, parallel to `parts`.
+    pub ranges: Vec<(usize, usize)>,
+    /// Whether the ranges address the peer's parity region (vs. its
+    /// data heap).
+    pub parity: bool,
+}
+
+/// An in-flight speculative `k + Δ` shard read: a degraded get fans out
+/// to the surviving data peers plus `1 + Δ` parity nodes and decodes
+/// from whichever `k` stripe rows arrive first, late-binding past
+/// stragglers (§"late-binding reads").
+#[derive(Debug)]
+pub(crate) struct SpecRead {
+    pub group: GroupId,
+    pub memgest: MemgestId,
+    /// Lost range in this coordinator's heap.
+    pub addr: usize,
+    pub len: usize,
+    /// SRS segments covering the lost range.
+    pub segs: Vec<ring_erasure::Segment>,
+    /// Stripe width `k`: rows needed per segment to decode.
+    pub k: usize,
+    /// Peers contacted, with their expected response layout.
+    pub peers: BTreeMap<NodeId, SpecPeer>,
+    /// Responses received so far (raw concatenated range bytes).
+    pub responses: BTreeMap<NodeId, ring_net::Payload>,
+    /// Peers that declined (rebuilding / holes) or answered garbage.
+    pub declined: BTreeSet<NodeId>,
+    /// Parity nodes held in reserve as `(parity index, node)`; promoted
+    /// one at a time when a contacted peer declines.
+    pub reserve: Vec<(usize, NodeId)>,
+    /// Fetch-attempt counter inherited from the triggering entry; seeds
+    /// the parity rotation and the single-target fallback.
+    pub attempt: u8,
+    pub sent_at: Instant,
+}
+
 /// Per-group state of a node.
 #[derive(Debug, Default)]
 pub(crate) struct GroupState {
@@ -212,6 +264,10 @@ pub struct Node<T: Transport<Msg> = RingEndpoint> {
     pub(crate) rebuilds: BTreeMap<(GroupId, MemgestId), RebuildState>,
     /// Outstanding metadata fetches keyed by `(group, memgest, shard)`.
     pub(crate) fetches: BTreeMap<(GroupId, MemgestId, usize), PendingFetch>,
+    /// In-flight speculative shard reads, keyed by token.
+    pub(crate) spec_reads: BTreeMap<u64, SpecRead>,
+    /// Monotonic token source for speculative shard reads.
+    pub(crate) next_spec_token: u64,
     /// Cumulative operation counters for introspection.
     pub(crate) ops: crate::stats::OpCounters,
     pub(crate) opts: NodeOptions,
@@ -238,6 +294,8 @@ impl<T: Transport<Msg>> Node<T> {
             recovering: 0,
             rebuilds: BTreeMap::new(),
             fetches: BTreeMap::new(),
+            spec_reads: BTreeMap::new(),
+            next_spec_token: 0,
             ops: crate::stats::OpCounters::default(),
             opts,
             last_heartbeat: ring_net::clock::now(),
@@ -297,6 +355,7 @@ impl<T: Transport<Msg>> Node<T> {
             self.retransmit(now);
             self.retry_fetches(now);
             self.retry_rebuild_starts(now);
+            self.expire_spec_reads(now);
             if self.opts.background_recovery && self.recovering == 0 {
                 self.background_recovery_sweep();
             }
@@ -494,6 +553,19 @@ impl<T: Transport<Msg>> Node<T> {
             Msg::ParityRebuildDone { group, memgest } => {
                 self.handle_parity_rebuild_done(from, group, memgest)
             }
+            Msg::ShardRead {
+                group,
+                memgest,
+                token,
+                parity,
+                ranges,
+            } => self.handle_shard_read(from, group, memgest, token, parity, ranges),
+            Msg::ShardReadResp {
+                group,
+                memgest,
+                token,
+                bytes,
+            } => self.handle_shard_read_resp(from, group, memgest, token, bytes),
             // Leader-plane messages a data node never receives.
             Msg::Heartbeat | Msg::CtrlAck { .. } | Msg::Response { .. } => {}
         }

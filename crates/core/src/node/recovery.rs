@@ -31,6 +31,10 @@ impl<T: Transport<Msg>> Node<T> {
         }
         self.default_memgest = default;
         self.active = self.config.nodes.contains(&self.id);
+        // Speculative shard reads in flight addressed the old epoch's
+        // role assignment; drop them (the survivor path below clears the
+        // `fetching` flags, so the next get re-issues the fan-out).
+        self.spec_reads.clear();
 
         if self.active && !was_active {
             // Step 3-4 of the recovery sequence: assume the role, create

@@ -150,6 +150,14 @@ impl<T: Transport<Msg>> Node<T> {
         mid: MemgestId,
         shard: usize,
     ) {
+        if self.recovering > 0 {
+            // Our own tables are still being rebuilt (e.g. this node was
+            // promoted in the same failure burst): answering now would
+            // ship partial — possibly empty — metadata and silently lose
+            // the requester's keys. Stay silent; the requester rotates
+            // to an intact holder within 150ms.
+            return;
+        }
         let s = self.config.s;
         let Some(gs) = self.groups.get(&g) else {
             return;
@@ -241,6 +249,85 @@ impl<T: Transport<Msg>> Node<T> {
         );
     }
 
+    /// Serves a speculative shard-read: ships raw bytes of the requested
+    /// ranges from this node's data heap (`parity == false`) or parity
+    /// region (`parity == true`), so the degraded coordinator can decode
+    /// locally from whichever `k` stripe rows answer first. Declines
+    /// (`bytes: None`) whenever the local bytes are not authoritative —
+    /// the requester late-binds to another redundancy target.
+    pub(crate) fn handle_shard_read(
+        &mut self,
+        from: NodeId,
+        g: GroupId,
+        mid: MemgestId,
+        token: u64,
+        parity: bool,
+        ranges: Vec<(usize, usize)>,
+    ) {
+        let bytes = if parity {
+            self.serve_parity_shard_read(g, mid, &ranges)
+        } else {
+            self.serve_data_shard_read(g, mid, &ranges)
+        };
+        let _ = self.ep.send(
+            from,
+            Msg::ShardReadResp {
+                group: g,
+                memgest: mid,
+                token,
+                bytes: bytes.map(Payload::from),
+            },
+        );
+    }
+
+    /// Raw heap bytes of a coordinator peer. Declined while this node is
+    /// itself recovering or its heap has holes (metadata-only entries
+    /// whose bytes were never re-decoded): zero-filled holes would decode
+    /// to garbage on the requester.
+    fn serve_data_shard_read(
+        &self,
+        g: GroupId,
+        mid: MemgestId,
+        ranges: &[(usize, usize)],
+    ) -> Option<Vec<u8>> {
+        if self.recovering > 0 {
+            return None;
+        }
+        let gs = self.groups.get(&g)?;
+        gs.shard?;
+        let coord = gs.coord.get(&mid)?;
+        let holey = coord
+            .meta
+            .iter()
+            .any(|(_, _, e)| !e.data_present && !e.tombstone);
+        if holey {
+            return None;
+        }
+        let CoordStore::Srs { heap, .. } = &coord.store else {
+            return None;
+        };
+        Some(concat_ranges(heap.region(), ranges))
+    }
+
+    /// Raw parity-region bytes. Declined mid-rebuild, when the parity
+    /// heap is not yet consistent with the coordinators' data heaps.
+    fn serve_parity_shard_read(
+        &self,
+        g: GroupId,
+        mid: MemgestId,
+        ranges: &[(usize, usize)],
+    ) -> Option<Vec<u8>> {
+        if self.rebuilds.contains_key(&(g, mid)) {
+            return None;
+        }
+        let gs = self.groups.get(&g)?;
+        let red = gs.redundant.get(&mid)?;
+        let RedundantStore::Parity { region, .. } = &red.store else {
+            return None;
+        };
+        Some(concat_ranges(region, ranges))
+    }
+
     fn decode_range(
         &self,
         g: GroupId,
@@ -288,13 +375,24 @@ impl<T: Transport<Msg>> Node<T> {
 
 /// Reads a range from a region, padding with zeros past its end (the
 /// region only grows lazily as parity updates arrive).
-fn read_or_zeros(region: &ring_net::MemoryRegion, addr: usize, len: usize) -> Vec<u8> {
+pub(crate) fn read_or_zeros(region: &ring_net::MemoryRegion, addr: usize, len: usize) -> Vec<u8> {
     let available = region.len().saturating_sub(addr).min(len);
     let mut out = vec![0u8; len];
     if available > 0 {
         if let Ok(bytes) = region.read(addr, available) {
             out[..available].copy_from_slice(&bytes);
         }
+    }
+    out
+}
+
+/// Concatenates `(addr, len)` ranges of a region, zero-padded past its
+/// end (unwritten heap space is all-zero by the coding convention).
+fn concat_ranges(region: &ring_net::MemoryRegion, ranges: &[(usize, usize)]) -> Vec<u8> {
+    let total: usize = ranges.iter().map(|&(_, len)| len).sum();
+    let mut out = Vec::with_capacity(total);
+    for &(addr, len) in ranges {
+        out.extend_from_slice(&read_or_zeros(region, addr, len));
     }
     out
 }

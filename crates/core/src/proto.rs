@@ -358,6 +358,36 @@ pub enum Msg {
         /// Decoded bytes (`None` if reconstruction failed).
         bytes: Option<Payload>,
     },
+    /// Speculative reader -> shard holder: late-binding shard read.
+    /// Return the concatenated bytes of `ranges` from your heap for
+    /// this memgest — the data heap when `parity == false` (addressed
+    /// to a coordinator), the parity heap when `parity == true`
+    /// (addressed to a redundancy node).
+    ShardRead {
+        /// Memgest group.
+        group: GroupId,
+        /// The memgest.
+        memgest: MemgestId,
+        /// Requester-chosen token echoed in the response; responses for
+        /// forgotten tokens are dropped (straggler cancellation).
+        token: u64,
+        /// Read the parity heap instead of the data heap.
+        parity: bool,
+        /// `(addr, len)` byte ranges, concatenated in order.
+        ranges: Vec<(usize, usize)>,
+    },
+    /// Shard holder -> speculative reader: the requested bytes.
+    ShardReadResp {
+        /// Memgest group.
+        group: GroupId,
+        /// The memgest.
+        memgest: MemgestId,
+        /// Echoed requester token.
+        token: u64,
+        /// Concatenated range bytes, or `None` if the holder declined
+        /// (it is itself recovering or mid-rebuild).
+        bytes: Option<Payload>,
+    },
     /// New parity node -> coordinators: stall SRS puts for this memgest
     /// while I rebuild the parity heap.
     ParityRebuildStart {
@@ -427,6 +457,8 @@ impl Msg {
             Msg::FetchValueResp { .. } => "FetchValueResp",
             Msg::RecoverBlock { .. } => "RecoverBlock",
             Msg::RecoverBlockResp { .. } => "RecoverBlockResp",
+            Msg::ShardRead { .. } => "ShardRead",
+            Msg::ShardReadResp { .. } => "ShardReadResp",
             Msg::ParityRebuildStart { .. } => "ParityRebuildStart",
             Msg::ParityRebuildInfo { .. } => "ParityRebuildInfo",
             Msg::ParityRebuildDone { .. } => "ParityRebuildDone",
@@ -465,6 +497,10 @@ impl WireSize for Msg {
                 }
                 Msg::RecoverBlockResp { bytes, .. } => {
                     16 + bytes.as_ref().map(|b| b.len()).unwrap_or(0)
+                }
+                Msg::ShardRead { ranges, .. } => 24 + ranges.len() * 16,
+                Msg::ShardReadResp { bytes, .. } => {
+                    24 + bytes.as_ref().map(|b| b.len()).unwrap_or(0)
                 }
                 Msg::ParityRebuildInfo { entries, .. } => 24 + entries.len() * META_ENTRY_SIZE,
                 Msg::ConfigUpdate {

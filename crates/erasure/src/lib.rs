@@ -42,11 +42,13 @@
 mod error;
 mod layout;
 mod rs;
+mod spec;
 mod srs;
 
 pub use error::CodeError;
 pub use layout::{Segment, SrsLayout};
 pub use rs::{Rs, Stripe};
+pub use spec::SpecStripe;
 pub use srs::{SrsCode, SrsEncodedObject, SrsParams};
 
 /// Computes the least common multiple of two positive integers.

@@ -222,6 +222,77 @@ impl Rs {
         Ok(())
     }
 
+    /// Recovers a single data block from an arbitrary set of at least
+    /// `k` distinct shards — the late-binding read primitive.
+    ///
+    /// `have` pairs a shard index with its bytes: indices `0..k` are
+    /// data blocks, `k..k + m` parity blocks, in `H = [I; G]` row order.
+    /// Entries are consumed in the order given and only the first `k`
+    /// distinct indices are used, so a speculative reader can pass
+    /// responses in arrival order and decode as soon as any `k` landed;
+    /// stragglers past the first `k` never influence the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughBlocks`] if fewer than `k` distinct
+    /// shards are supplied, and parameter/length errors for malformed
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source >= k`.
+    pub fn recover_source(
+        &self,
+        source: usize,
+        have: &[(usize, &[u8])],
+    ) -> Result<Vec<u8>, CodeError> {
+        assert!(source < self.k, "source index {source} out of range");
+        let mut chosen: Vec<usize> = Vec::with_capacity(self.k);
+        let mut blocks: Vec<&[u8]> = Vec::with_capacity(self.k);
+        for &(i, bytes) in have {
+            if i >= self.k + self.m {
+                return Err(CodeError::InvalidParameters(format!(
+                    "shard index {i} out of range for RS({}, {})",
+                    self.k, self.m
+                )));
+            }
+            if chosen.contains(&i) {
+                continue;
+            }
+            chosen.push(i);
+            blocks.push(bytes);
+            if chosen.len() == self.k {
+                break;
+            }
+        }
+        if chosen.len() < self.k {
+            return Err(CodeError::NotEnoughBlocks {
+                needed: self.k,
+                available: chosen.len(),
+            });
+        }
+        let len = blocks[0].len();
+        for b in &blocks {
+            if b.len() != len {
+                return Err(CodeError::BlockLengthMismatch {
+                    expected: len,
+                    actual: b.len(),
+                });
+            }
+        }
+        // Fast path: the systematic block itself is among the first k.
+        if let Some(pos) = chosen.iter().position(|&i| i == source) {
+            return Ok(blocks[pos].to_vec());
+        }
+        let sub = self.h.select_rows(&chosen);
+        let dec = sub.invert().map_err(|_| CodeError::Unrecoverable)?;
+        let mut out = vec![0u8; len];
+        for (i, block) in blocks.iter().enumerate() {
+            region::mul_acc(&mut out, block, dec[(source, i)]);
+        }
+        Ok(out)
+    }
+
     /// Computes the parity delta for parity block `p` caused by data
     /// block `source` changing by `delta = new ^ old`:
     /// `parity_p ^= g_{p,source} * delta` (the paper's update rule).
@@ -363,6 +434,59 @@ mod tests {
             Err(CodeError::NotEnoughBlocks {
                 needed: 3,
                 available: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn recover_source_from_every_k_subset() {
+        let rs = Rs::new(3, 2).unwrap();
+        let data = blocks(3, 20, 11);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let all: Vec<&[u8]> = refs
+            .iter()
+            .copied()
+            .chain(parity.iter().map(|p| p.as_slice()))
+            .collect();
+        for a in 0..5 {
+            for b in a + 1..5 {
+                for c in b + 1..5 {
+                    let have = [(a, all[a]), (b, all[b]), (c, all[c])];
+                    for (source, expect) in data.iter().enumerate() {
+                        assert_eq!(
+                            &rs.recover_source(source, &have).unwrap(),
+                            expect,
+                            "subset ({a},{b},{c}), source {source}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recover_source_uses_first_k_and_ignores_stragglers() {
+        let rs = Rs::new(2, 2).unwrap();
+        let data = blocks(2, 16, 4);
+        let refs: Vec<&[u8]> = data.iter().map(|b| b.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        // First two arrivals are D1 and P0; a later corrupt P1 straggler
+        // must not affect the decode.
+        let corrupt = vec![0xEEu8; 16];
+        let have = [
+            (1, refs[1]),
+            (2, parity[0].as_slice()),
+            (3, corrupt.as_slice()),
+        ];
+        assert_eq!(rs.recover_source(0, &have).unwrap(), data[0]);
+        // Duplicate indices are skipped, not double-counted.
+        let dup = [(1, refs[1]), (1, refs[1])];
+        assert!(matches!(
+            rs.recover_source(0, &dup),
+            Err(CodeError::NotEnoughBlocks {
+                needed: 2,
+                available: 1
             })
         ));
     }

@@ -1,0 +1,117 @@
+//! Late-binding shard fan-in for speculative `k + Δ` reads.
+//!
+//! A speculative reader fans a GET out to `k + Δ` redundancy targets and
+//! decodes from whichever `k` distinct shards answer first, ignoring the
+//! stragglers (Hydra-style late binding). [`SpecStripe`] is the
+//! transport-agnostic fan-in state machine: `offer` shard responses in
+//! arrival order, [`SpecStripe::ready`] flips once any `k` distinct
+//! shards have landed, and the decode methods bind to exactly the first
+//! `k` arrivals — responses offered after readiness are dropped, which
+//! is the cancellation semantics (a straggler can never change an
+//! answer that was already decodable).
+
+use crate::{CodeError, Rs};
+
+/// Fan-in state for one speculative RS stripe read.
+pub struct SpecStripe {
+    rs: Rs,
+    /// Arrival-ordered `(shard index, bytes)`; duplicate indices and
+    /// post-readiness arrivals are ignored.
+    have: Vec<(usize, Vec<u8>)>,
+}
+
+impl SpecStripe {
+    /// Creates an empty fan-in for one stripe of `rs`.
+    pub fn new(rs: Rs) -> SpecStripe {
+        SpecStripe {
+            rs,
+            have: Vec::new(),
+        }
+    }
+
+    /// Records a shard response and reports whether the stripe is now
+    /// decodable. Out-of-range indices, duplicates, and arrivals after
+    /// the first `k` are silently dropped (late binding: stragglers
+    /// cannot perturb the chosen subset).
+    pub fn offer(&mut self, idx: usize, bytes: Vec<u8>) -> bool {
+        if !self.ready()
+            && idx < self.rs.k() + self.rs.m()
+            && !self.have.iter().any(|(i, _)| *i == idx)
+        {
+            self.have.push((idx, bytes));
+        }
+        self.ready()
+    }
+
+    /// True once `k` distinct shards have arrived.
+    pub fn ready(&self) -> bool {
+        self.have.len() >= self.rs.k()
+    }
+
+    /// Number of distinct shards recorded so far.
+    pub fn arrived(&self) -> usize {
+        self.have.len()
+    }
+
+    /// Decodes a single data block from the first `k` arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::NotEnoughBlocks`] before readiness and
+    /// length errors for malformed responses.
+    pub fn decode_source(&self, source: usize) -> Result<Vec<u8>, CodeError> {
+        let refs: Vec<(usize, &[u8])> = self.have.iter().map(|(i, b)| (*i, b.as_slice())).collect();
+        self.rs.recover_source(source, &refs)
+    }
+
+    /// Decodes the whole object (all `k` data blocks concatenated,
+    /// truncated to `object_len`) from the first `k` arrivals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpecStripe::decode_source`] errors.
+    pub fn decode_object(&self, object_len: usize) -> Result<Vec<u8>, CodeError> {
+        let mut out = Vec::new();
+        for j in 0..self.rs.k() {
+            out.extend_from_slice(&self.decode_source(j)?);
+        }
+        out.truncate(object_len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offers_become_ready_at_k_and_then_freeze() {
+        let rs = Rs::new(2, 1).unwrap();
+        let obj = b"speculative".to_vec();
+        let stripe = rs.encode_object(&obj).unwrap();
+        let mut spec = SpecStripe::new(rs);
+        assert!(!spec.ready());
+        assert!(!spec.offer(2, stripe.parity[0].clone()));
+        assert!(spec.offer(0, stripe.data[0].clone()));
+        assert!(spec.ready());
+        assert_eq!(spec.arrived(), 2);
+        // A straggler (even a corrupt one) after readiness is dropped.
+        assert!(spec.offer(1, vec![0xFF; stripe.data[1].len()]));
+        assert_eq!(spec.arrived(), 2);
+        assert_eq!(spec.decode_object(obj.len()).unwrap(), obj);
+    }
+
+    #[test]
+    fn duplicates_do_not_count_toward_readiness() {
+        let rs = Rs::new(2, 1).unwrap();
+        let stripe = rs.encode_object(b"dup").unwrap();
+        let mut spec = SpecStripe::new(rs);
+        assert!(!spec.offer(0, stripe.data[0].clone()));
+        assert!(!spec.offer(0, stripe.data[0].clone()));
+        assert_eq!(spec.arrived(), 1);
+        assert!(matches!(
+            spec.decode_source(1),
+            Err(CodeError::NotEnoughBlocks { .. })
+        ));
+    }
+}

@@ -1,7 +1,7 @@
 //! Property-based tests for RS and SRS codes.
 
 use proptest::prelude::*;
-use ring_erasure::{Rs, SrsCode, SrsLayout};
+use ring_erasure::{Rs, SpecStripe, SrsCode, SrsLayout};
 
 /// Small, valid (k, m, s) triples.
 fn srs_params() -> impl Strategy<Value = (usize, usize, usize)> {
@@ -277,6 +277,79 @@ proptest! {
             .collect();
         let rec = code.recover_data_node(lost, &data, &parity).unwrap();
         prop_assert_eq!(&rec, &heaps[lost][period * dp..(period + 1) * dp]);
+    }
+
+    #[test]
+    fn recover_source_from_every_k_subset_of_k_plus_delta(
+        (k, m) in rs_params(),
+        obj in proptest::collection::vec(any::<u8>(), 1..256),
+        source_seed in any::<usize>(),
+    ) {
+        // Late-binding invariant: a speculative reader that fanned out to
+        // k + Δ shards may see ANY k-subset answer first; every one of
+        // them must decode every data block byte-exact.
+        let rs = Rs::new(k, m).unwrap();
+        let stripe = rs.encode_object(&obj).unwrap();
+        let all: Vec<&[u8]> = stripe
+            .data
+            .iter()
+            .map(|b| b.as_slice())
+            .chain(stripe.parity.iter().map(|b| b.as_slice()))
+            .collect();
+        let n = k + m;
+        let source = source_seed % k;
+        // Enumerate every k-subset of the n shards via bitmasks (n <= 10
+        // for the parameter strategy, so this stays small).
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != k {
+                continue;
+            }
+            let have: Vec<(usize, &[u8])> =
+                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| (i, all[i])).collect();
+            prop_assert_eq!(
+                &rs.recover_source(source, &have).unwrap(),
+                &stripe.data[source],
+                "mask {:#b}", mask
+            );
+        }
+    }
+
+    #[test]
+    fn spec_stripe_first_k_decode_matches_committed_under_reordering(
+        (k, m) in rs_params(),
+        obj in proptest::collection::vec(any::<u8>(), 1..256),
+        order_seed in any::<u64>(),
+    ) {
+        // Decode-from-first-k: shard responses arrive in an arbitrary
+        // order; as soon as k distinct shards have landed the decode must
+        // equal the committed value, and later stragglers must not
+        // change readiness or the answer.
+        let rs = Rs::new(k, m).unwrap();
+        let stripe = rs.encode_object(&obj).unwrap();
+        let all: Vec<Vec<u8>> =
+            stripe.data.iter().chain(stripe.parity.iter()).cloned().collect();
+        // Seeded Fisher-Yates over the k + m response order.
+        let n = k + m;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = order_seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut spec = SpecStripe::new(rs);
+        let mut became_ready_at = None;
+        for (pos, &idx) in order.iter().enumerate() {
+            let ready = spec.offer(idx, all[idx].clone());
+            if ready && became_ready_at.is_none() {
+                became_ready_at = Some(pos);
+                prop_assert_eq!(&spec.decode_object(obj.len()).unwrap(), &obj);
+            }
+        }
+        // Readiness at exactly the k-th distinct arrival.
+        prop_assert_eq!(became_ready_at, Some(k - 1));
+        prop_assert_eq!(spec.arrived(), k);
+        prop_assert_eq!(&spec.decode_object(obj.len()).unwrap(), &obj);
     }
 
     #[test]

@@ -413,6 +413,36 @@ pub fn decode_msg(body: &[u8]) -> Result<Msg, NetError> {
                 bytes,
             }
         }
+        MSG_SHARD_READ => {
+            let group = r.u8()?;
+            let memgest = r.u32()?;
+            let token = r.u64()?;
+            let parity = get_bool(r)?;
+            let n = r.u32()? as usize;
+            let mut ranges = Vec::with_capacity(n.min(MAX_PREALLOC));
+            for _ in 0..n {
+                ranges.push((get_usize(r)?, get_usize(r)?));
+            }
+            Msg::ShardRead {
+                group,
+                memgest,
+                token,
+                parity,
+                ranges,
+            }
+        }
+        MSG_SHARD_READ_RESP => {
+            let group = r.u8()?;
+            let memgest = r.u32()?;
+            let token = r.u64()?;
+            let bytes = get_opt_payload(r)?;
+            Msg::ShardReadResp {
+                group,
+                memgest,
+                token,
+                bytes,
+            }
+        }
         MSG_PARITY_REBUILD_START => Msg::ParityRebuildStart {
             group: r.u8()?,
             memgest: r.u32()?,

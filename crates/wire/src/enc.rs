@@ -455,6 +455,36 @@ pub fn encode_msg(msg: &Msg, out: &mut FrameBuf) {
             out.put_u64(*addr as u64);
             put_opt_payload(out, bytes);
         }
+        Msg::ShardRead {
+            group,
+            memgest,
+            token,
+            parity,
+            ranges,
+        } => {
+            out.put_u8(MSG_SHARD_READ);
+            out.put_u8(*group);
+            out.put_u32(*memgest);
+            out.put_u64(*token);
+            put_bool(out, *parity);
+            out.put_u32(ranges.len() as u32);
+            for &(addr, len) in ranges {
+                out.put_u64(addr as u64);
+                out.put_u64(len as u64);
+            }
+        }
+        Msg::ShardReadResp {
+            group,
+            memgest,
+            token,
+            bytes,
+        } => {
+            out.put_u8(MSG_SHARD_READ_RESP);
+            out.put_u8(*group);
+            out.put_u32(*memgest);
+            out.put_u64(*token);
+            put_opt_payload(out, bytes);
+        }
         Msg::ParityRebuildStart { group, memgest } => {
             out.put_u8(MSG_PARITY_REBUILD_START);
             out.put_u8(*group);

@@ -24,6 +24,8 @@ pub const MSG_RECOVER_BLOCK_RESP: u8 = 18;
 pub const MSG_PARITY_REBUILD_START: u8 = 19;
 pub const MSG_PARITY_REBUILD_INFO: u8 = 20;
 pub const MSG_PARITY_REBUILD_DONE: u8 = 21;
+pub const MSG_SHARD_READ: u8 = 22;
+pub const MSG_SHARD_READ_RESP: u8 = 23;
 
 // ClientReq variants.
 pub const REQ_PUT: u8 = 0;

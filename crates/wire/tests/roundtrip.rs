@@ -13,7 +13,7 @@ use ring_net::{NetError, Payload};
 use ring_wire::{decode_frame, decode_msg, encode_frame, frame_header};
 
 /// Number of distinct `Msg` variants ([`arb_msg_variant`] covers all).
-const MSG_VARIANTS: u64 = 22;
+const MSG_VARIANTS: u64 = 24;
 
 fn arb_payload(rng: &mut TestRng) -> Payload {
     let len = rng.below(64) as usize;
@@ -340,9 +340,27 @@ fn arb_msg_variant(idx: u64, rng: &mut TestRng) -> Msg {
             data_valid: rng.next_u64() & 1 == 1,
             entries: arb_meta_entries(rng),
         },
-        _ => Msg::ParityRebuildDone {
+        21 => Msg::ParityRebuildDone {
             group: rng.next_u64() as u8,
             memgest: rng.next_u64() as u32,
+        },
+        22 => {
+            let n = rng.below(5) as usize;
+            Msg::ShardRead {
+                group: rng.next_u64() as u8,
+                memgest: rng.next_u64() as u32,
+                token: rng.next_u64(),
+                parity: rng.next_u64() & 1 == 1,
+                ranges: (0..n)
+                    .map(|_| (rng.next_u64() as usize, rng.below(1 << 20) as usize))
+                    .collect(),
+            }
+        }
+        _ => Msg::ShardReadResp {
+            group: rng.next_u64() as u8,
+            memgest: rng.next_u64() as u32,
+            token: rng.next_u64(),
+            bytes: arb_opt_payload(rng),
         },
     }
 }
@@ -420,7 +438,7 @@ proptest! {
 #[test]
 fn every_variant_round_trips() {
     // The proptest above draws variants randomly; this loop guarantees
-    // all 22 are exercised even with few cases, several seeds each.
+    // all 24 are exercised even with few cases, several seeds each.
     for idx in 0..MSG_VARIANTS {
         for seed in 0..16u64 {
             let mut rng = TestRng::new(0xC0DEC ^ (seed << 8) ^ idx);
