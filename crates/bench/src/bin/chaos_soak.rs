@@ -11,9 +11,13 @@
 //!   exercise many interleavings of one schedule.
 //! - `RING_CHAOS_STRAGGLER` (default 0): set to 1 to layer the seeded
 //!   slow-node straggler profile over the message faults.
+//! - `RING_CHAOS_CONFORM` (default 0): set to 1 to additionally replay
+//!   each history against the RingWriteSemantics abstract model
+//!   (`ring-model` trace conformance — version numbers included).
 
 use ring_bench::output::{header, write_json};
 use ring_chaos::{run_soak, CheckOutcome, SoakConfig, StragglerSpec};
+use ring_model::conform::{check_conformance, Conformance};
 
 #[derive(serde::Serialize)]
 struct Row {
@@ -31,6 +35,8 @@ struct Row {
     msgs_delayed: u64,
     straggles: u64,
     linearizable: bool,
+    /// `None` when conformance replay was not requested.
+    conformant: Option<bool>,
     wall_s: f64,
 }
 
@@ -53,6 +59,7 @@ fn main() {
     let clients = env_u64("RING_CHAOS_CLIENTS", 4) as usize;
     let runs = env_u64("RING_CHAOS_RUNS", 1) as usize;
     let straggler = env_u64("RING_CHAOS_STRAGGLER", 0) != 0;
+    let conform = env_u64("RING_CHAOS_CONFORM", 0) != 0;
 
     let mut cfg = SoakConfig::acceptance(seed);
     cfg.ops_per_client = ops;
@@ -79,7 +86,9 @@ fn main() {
         let verdict = match &report.checker {
             CheckOutcome::Ok { states, .. } => format!("linearizable ({states} states)"),
             CheckOutcome::Violation(v) => format!("VIOLATION on key {}", v.key),
-            CheckOutcome::Inconclusive { key, .. } => format!("inconclusive on key {key}"),
+            CheckOutcome::Inconclusive { keys, .. } => {
+                format!("inconclusive on {} key(s)", keys.len())
+            }
         };
         println!(
             "{run}\t{}\t{}\t{}\t{verdict}\t{wall_s:.1}s",
@@ -89,6 +98,12 @@ fn main() {
             println!("{v}");
         }
         all_ok &= report.passed();
+        let conformant = conform.then(|| {
+            let c = check_conformance(&report.history);
+            println!("  model conformance: {c}");
+            !matches!(c, Conformance::Violation { .. })
+        });
+        all_ok &= conformant.unwrap_or(true);
         rows.push(Row {
             run,
             seed: report.seed,
@@ -104,6 +119,7 @@ fn main() {
             msgs_delayed: report.message_faults.3,
             straggles: report.straggles.1,
             linearizable: report.passed(),
+            conformant,
             wall_s,
         });
     }

@@ -49,11 +49,12 @@ pub enum CheckOutcome {
     },
     /// A consistency violation, with the evidence.
     Violation(Violation),
-    /// The search budget ran out before a verdict (raise the budget).
+    /// Some per-key searches ran out of budget before a verdict (raise
+    /// the budget); every other key was still checked and found clean.
     Inconclusive {
-        /// The key whose search exceeded the budget.
-        key: Key,
-        /// States explored before giving up.
+        /// The keys whose searches exceeded the budget.
+        keys: Vec<Key>,
+        /// States explored before giving up, summed over all keys.
         states: u64,
     },
 }
@@ -122,14 +123,25 @@ pub fn check_history_with_budget(history: &History, budget: u64) -> CheckOutcome
 
     let mut total_states = 0u64;
     let keys = by_key.len();
+    // A blown budget on one key must not abort the history: a definite
+    // violation on a later key outranks "inconclusive", and every key
+    // deserves its own verdict.
+    let mut inconclusive: Vec<Key> = Vec::new();
     for (key, events) in by_key {
         match check_key(key, &events, budget) {
             KeyVerdict::Linearizable { states } => total_states += states,
             KeyVerdict::Violation(v) => return CheckOutcome::Violation(v),
             KeyVerdict::OutOfBudget { states } => {
-                return CheckOutcome::Inconclusive { key, states };
+                total_states += states;
+                inconclusive.push(key);
             }
         }
+    }
+    if !inconclusive.is_empty() {
+        return CheckOutcome::Inconclusive {
+            keys: inconclusive,
+            states: total_states,
+        };
     }
     CheckOutcome::Ok {
         keys,
@@ -618,8 +630,64 @@ mod tests {
         }
         events.push(get(99, 99, 0, 20, 30, Some((3, 3))));
         match check_history_with_budget(&history(events), 50) {
-            CheckOutcome::Inconclusive { key: 0, .. } => {}
+            CheckOutcome::Inconclusive { keys, .. } => assert_eq!(keys, vec![0]),
             other => panic!("expected inconclusive, got {other:?}"),
+        }
+    }
+
+    /// Dozens of overlapping maybe-puts on `key`, enough to blow a
+    /// small search budget.
+    fn budget_blower(key: Key) -> Vec<Event> {
+        (0..40u64)
+            .map(|i| Event {
+                client: i as u32,
+                op: key * 1000 + i,
+                key,
+                call: Invocation::Put {
+                    tag: (i as u32, key * 1000 + i),
+                    memgest: None,
+                },
+                invoked_ns: 0,
+                returned_ns: 10,
+                outcome: Outcome::Maybe,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn budget_exhaustion_is_per_key_not_per_history() {
+        // Key 0 blows the budget; keys 1 and 2 are cheap and clean. The
+        // verdict must be inconclusive on key 0 *only*, with the other
+        // keys checked (not silently skipped).
+        let mut events = budget_blower(0);
+        events.push(get(90, 9000, 0, 20, 30, Some((3, 3))));
+        for key in [1u64, 2] {
+            events.push(put(50, key * 100, key, 0, 10, 1));
+            events.push(get(51, key * 100 + 1, key, 20, 30, Some((50, key * 100))));
+        }
+        match check_history_with_budget(&history(events), 50) {
+            CheckOutcome::Inconclusive { keys, states } => {
+                assert_eq!(keys, vec![0], "only key 0 ran out of budget");
+                // The clean keys' states are counted too: they were
+                // actually searched, past the exhausted key.
+                assert!(states > 50, "clean keys explored after the blown one");
+            }
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn violation_behind_a_blown_budget_is_still_found() {
+        // Key 0 exhausts the budget, but key 5 holds a definite stale
+        // read: the checker must keep going and report the violation,
+        // which outranks "inconclusive".
+        let mut events = budget_blower(0);
+        events.push(put(50, 500, 5, 0, 10, 1));
+        events.push(put(50, 501, 5, 20, 30, 2));
+        events.push(get(51, 502, 5, 40, 50, Some((50, 500))));
+        match check_history_with_budget(&history(events), 50) {
+            CheckOutcome::Violation(v) => assert_eq!(v.key, 5),
+            other => panic!("expected violation on key 5, got {other:?}"),
         }
     }
 }

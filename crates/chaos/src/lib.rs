@@ -24,12 +24,14 @@
 //! message-fault decision function — derives from one `u64` seed, so a
 //! failure report's seed replays the identical schedule.
 
+pub mod abstract_events;
 pub mod checker;
 pub mod history;
 pub mod nemesis;
 pub mod soak;
 pub mod straggler;
 
+pub use abstract_events::{abstract_ops, AbstractKind, AbstractOp};
 pub use checker::{check_history, CheckOutcome, Violation};
 pub use history::{History, HistoryRecorder, RecordedClient, Tag};
 pub use nemesis::{FaultPlan, MessageFaults, Nemesis, NemesisEvent, NemesisSpec};

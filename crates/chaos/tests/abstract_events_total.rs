@@ -1,0 +1,128 @@
+//! Property tests for the history → abstract-model-event projection:
+//! it must be *total* — no (invocation, outcome, timing) combination
+//! may panic it — because the conformance pass runs it on whatever a
+//! chaos soak recorded, including dangling invocations from crashed
+//! clients (timed-out `Maybe` outcomes with unordered timestamps) and
+//! outcome shapes no healthy run produces. `canonical_bytes` feeds the
+//! same downstream consumers, so it gets the same treatment.
+
+use proptest::prelude::*;
+use ring_chaos::abstract_events::{abstract_ops, project, AbstractKind};
+use ring_chaos::history::{Event, History, Invocation, Outcome};
+
+/// Decodes an arbitrary tuple into an event, covering every call and
+/// outcome variant — deliberately including mismatched pairs (a put
+/// with a get outcome) and inverted or saturated timestamps. The key
+/// derives from the op id so multiple events collide on few keys.
+fn event_from(raw: (u8, u8, u32, u64, u64, u64)) -> Event {
+    let (call_sel, out_sel, client, op, inv, ret) = raw;
+    let key = op % 5;
+    let call = match call_sel % 4 {
+        0 => Invocation::Put {
+            tag: (client, op),
+            memgest: (op % 2 == 1).then_some((op % 8) as u32),
+        },
+        1 => Invocation::Get,
+        2 => Invocation::Delete,
+        _ => Invocation::Move { to: (op % 8) as u32 },
+    };
+    let outcome = match out_sel % 7 {
+        0 => Outcome::PutOk {
+            version: inv.wrapping_add(1),
+        },
+        1 => Outcome::GetOk {
+            tag: (inv % 2 == 0).then_some((client, op)),
+            version: (inv % 3 == 0).then_some(ret),
+        },
+        2 => Outcome::DeleteOk,
+        3 => Outcome::MoveOk { version: ret },
+        4 => Outcome::MoveNoop,
+        5 => Outcome::Maybe,
+        _ => Outcome::Failed("injected failure".into()),
+    };
+    Event {
+        client,
+        op,
+        key,
+        call,
+        invoked_ns: inv,
+        // A crashed client's dangling invocation records an open window.
+        returned_ns: if out_sel % 5 == 0 { u64::MAX } else { ret },
+        outcome,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn projection_is_total_over_arbitrary_histories(
+        raw in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u32>(),
+             any::<u64>(), any::<u64>(), any::<u64>()), 0..60),
+    ) {
+        let events: Vec<Event> = raw.iter().copied().map(event_from).collect();
+        let h = History { events };
+
+        // Per-event projection never panics and preserves identity.
+        for e in &h.events {
+            let a = project(e);
+            prop_assert_eq!(a.client, e.client);
+            prop_assert_eq!(a.op, e.op);
+            prop_assert_eq!(a.invoked_ns, e.invoked_ns);
+            // Indefinite writes/rewrites are free to linearize
+            // arbitrarily late; everything else keeps its window.
+            match a.kind {
+                AbstractKind::Write { definite: false, .. }
+                | AbstractKind::Rewrite { definite: false, .. } => {
+                    prop_assert_eq!(a.returned_ns, u64::MAX);
+                }
+                _ => prop_assert_eq!(a.returned_ns, e.returned_ns),
+            }
+        }
+
+        // Whole-history projection partitions without loss.
+        let by_key = abstract_ops(&h);
+        let total: usize = by_key.values().map(Vec::len).sum();
+        prop_assert_eq!(total, h.events.len());
+
+        // The canonical serialization is total over the same inputs.
+        let bytes = h.canonical_bytes();
+        if !h.events.is_empty() {
+            prop_assert!(!bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn projection_ignores_timestamps_like_canonical_bytes(
+        raw in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u32>(),
+             any::<u64>(), any::<u64>(), any::<u64>()), 1..30),
+        shift in any::<u32>(),
+    ) {
+        // Shifting definite-response timestamps changes neither the
+        // canonical bytes nor the per-key op partition sizes: both views
+        // are about logical content, not wall-clock placement.
+        let events: Vec<Event> = raw.iter().copied().map(event_from).collect();
+        let shifted: Vec<Event> = events
+            .iter()
+            .map(|e| {
+                let mut e = e.clone();
+                e.invoked_ns = e.invoked_ns.wrapping_add(u64::from(shift));
+                if e.returned_ns != u64::MAX {
+                    e.returned_ns = e.returned_ns.wrapping_add(u64::from(shift));
+                }
+                e
+            })
+            .collect();
+        let a = History { events };
+        let b = History { events: shifted };
+        prop_assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        let pa = abstract_ops(&a);
+        let pb = abstract_ops(&b);
+        prop_assert_eq!(pa.len(), pb.len());
+        for (k, ops) in &pa {
+            prop_assert_eq!(ops.len(), pb[k].len());
+        }
+    }
+}

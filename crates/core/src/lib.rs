@@ -50,6 +50,7 @@ mod error;
 pub mod leader;
 pub mod node;
 pub mod proto;
+pub mod protocol;
 pub mod stats;
 pub mod storage;
 pub mod types;

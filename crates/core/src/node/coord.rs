@@ -7,10 +7,11 @@ use ring_net::{NodeId, Payload, Transport};
 use crate::config::LEADER_NODE;
 use crate::error::RingError;
 use crate::proto::{ClientReq, ClientResp, ClientTag, MetaEntry, Msg, ParitySeg};
+use crate::protocol::steps;
 use crate::storage::{CoordStore, ObjectEntry, RedundantStore, Waiter};
 use crate::types::{GroupId, Key, MemgestId, ReqId, Scheme, Version};
 
-use super::{Dedup, Node, OnCommit, PendingPut, StalledPut, DEDUP_CAP};
+use super::{Node, OnCommit, PendingPut, StalledPut, DEDUP_CAP};
 
 impl<T: Transport<Msg>> Node<T> {
     pub(crate) fn handle_request(&mut self, from: NodeId, req: ReqId, body: ClientReq) {
@@ -22,14 +23,14 @@ impl<T: Transport<Msg>> Node<T> {
             body,
             ClientReq::Put { .. } | ClientReq::Delete { .. } | ClientReq::Move { .. }
         ) {
-            match self.dedup.get(&(from, req)) {
-                Some(Dedup::Done(resp)) => {
+            match steps::dedup_decision(self.dedup.get(&(from, req))) {
+                steps::DedupDecision::Resend(resp) => {
                     let body = resp.clone();
                     let _ = self.ep.send(from, Msg::Response { req, body });
                     return;
                 }
-                Some(Dedup::InFlight) => return,
-                None => {}
+                steps::DedupDecision::Drop => return,
+                steps::DedupDecision::Execute => {}
             }
         }
         // Management requests belong to the leader; a data node that
@@ -83,7 +84,8 @@ impl<T: Transport<Msg>> Node<T> {
     /// silently ignored requests leave no trace, so the right node's
     /// execution is unaffected.
     fn dedup_open(&mut self, from: NodeId, req: ReqId) {
-        self.dedup.insert((from, req), Dedup::InFlight);
+        self.dedup
+            .insert((from, req), steps::DedupSlot::InFlight);
     }
 
     /// Sends a client response, settling the request's at-most-once
@@ -93,15 +95,13 @@ impl<T: Transport<Msg>> Node<T> {
     /// (duplicate or client retry after a lost response) must observe
     /// that same answer rather than execute again.
     fn respond(&mut self, to: NodeId, req: ReqId, body: ClientResp) {
-        if let Some(slot) = self.dedup.get_mut(&(to, req)) {
-            *slot = Dedup::Done(body.clone());
-            self.dedup_order.push_back((to, req));
-            if self.dedup_order.len() > DEDUP_CAP {
-                if let Some(old) = self.dedup_order.pop_front() {
-                    self.dedup.remove(&old);
-                }
-            }
-        }
+        steps::settle_dedup(
+            &mut self.dedup,
+            &mut self.dedup_order,
+            (to, req),
+            body.clone(),
+            DEDUP_CAP,
+        );
         let _ = self.ep.send(to, Msg::Response { req, body });
     }
 
@@ -142,7 +142,7 @@ impl<T: Transport<Msg>> Node<T> {
     ) {
         let gs = self.groups.get_mut(&g).expect("owned group exists");
         let shard = gs.shard.expect("coordinator role");
-        let version = gs.volatile.highest(key).map(|(v, _)| v + 1).unwrap_or(1);
+        let version = steps::next_version(gs.volatile.highest(key).map(|(v, _)| v));
         // Write-ahead: the volatile table and metadata table learn about
         // the version before any redundancy traffic is sent.
         gs.volatile.record(key, version, mid);
@@ -293,11 +293,7 @@ impl<T: Transport<Msg>> Node<T> {
             }
         }
 
-        let needed = match scheme {
-            Scheme::Rep { r } if self.opts.sync_replication => r.saturating_sub(1),
-            _ => scheme.acks_to_commit(),
-        };
-        let mut outstanding = std::collections::BTreeSet::new();
+        let needed = steps::acks_needed(scheme, self.opts.sync_replication);
         let mut msgs: Vec<(NodeId, Msg)> = Vec::new();
         for &t in &replicate_targets {
             msgs.push((
@@ -314,7 +310,6 @@ impl<T: Transport<Msg>> Node<T> {
         }
         msgs.extend(parity_msgs);
         for (t, msg) in &msgs {
-            outstanding.insert(*t);
             let _ = self.ep.send(*t, msg.clone());
         }
 
@@ -325,8 +320,7 @@ impl<T: Transport<Msg>> Node<T> {
             self.pending.insert(
                 (g, mid, key, version),
                 PendingPut {
-                    outstanding,
-                    needed,
+                    acks: steps::AckState::open(msgs.iter().map(|(t, _)| *t), needed),
                     on_commit,
                     msgs,
                     last_send: ring_net::clock::now(),
@@ -349,16 +343,15 @@ impl<T: Transport<Msg>> Node<T> {
         let Some(p) = self.pending.get_mut(&(g, mid, key, version)) else {
             return; // Late ack after commit; ignore.
         };
-        if !p.outstanding.remove(&from) {
-            return; // Duplicate.
-        }
-        p.needed = p.needed.saturating_sub(1);
-        if p.needed == 0 {
-            let p = self
-                .pending
-                .remove(&(g, mid, key, version))
-                .expect("present");
-            self.commit(g, mid, key, version, p.on_commit);
+        match p.acks.apply_ack(from) {
+            steps::AckOutcome::Ignored | steps::AckOutcome::Counted => {}
+            steps::AckOutcome::Commit => {
+                let p = self
+                    .pending
+                    .remove(&(g, mid, key, version))
+                    .expect("present");
+                self.commit(g, mid, key, version, p.on_commit);
+            }
         }
     }
 
@@ -435,7 +428,7 @@ impl<T: Transport<Msg>> Node<T> {
                 let removable = c
                     .meta
                     .get(key, v)
-                    .map(|e| e.committed && e.waiters.is_empty())
+                    .map(|e| steps::removable(e.committed, !e.waiters.is_empty()))
                     .unwrap_or(false);
                 if removable {
                     c.meta.remove(key, v);
@@ -489,7 +482,12 @@ impl<T: Transport<Msg>> Node<T> {
             );
             return;
         };
-        if !entry.committed {
+        let decision = steps::read_decision(&steps::ReadEntry {
+            committed: entry.committed,
+            tombstone: entry.tombstone,
+            data_present: entry.data_present,
+        });
+        if decision == steps::ReadDecision::Postpone {
             // Postpone until the pinned version commits (Figure 5).
             entry.waiters.push(Waiter::Get((from, req)));
             return;
@@ -526,24 +524,33 @@ impl<T: Transport<Msg>> Node<T> {
             );
             return;
         };
-        if entry.tombstone {
-            self.respond(
-                client.0,
-                client.1,
-                ClientResp::Error(RingError::KeyNotFound),
-            );
-            return;
-        }
-        if entry.data_present {
-            let value = match &coord.store {
-                CoordStore::Rep { values } => values
-                    .get(&(key, version))
-                    .cloned()
-                    .unwrap_or_else(Payload::empty),
-                CoordStore::Srs { heap, .. } => Payload::from(heap.read(entry.addr, entry.len)),
-            };
-            self.respond(client.0, client.1, ClientResp::GetOk { value, version });
-            return;
+        // `answer_get` is only reached for committed versions, so the
+        // decision here splits tombstone / serve / recover.
+        match steps::read_decision(&steps::ReadEntry {
+            committed: true,
+            tombstone: entry.tombstone,
+            data_present: entry.data_present,
+        }) {
+            steps::ReadDecision::NotFound => {
+                self.respond(
+                    client.0,
+                    client.1,
+                    ClientResp::Error(RingError::KeyNotFound),
+                );
+                return;
+            }
+            steps::ReadDecision::Serve => {
+                let value = match &coord.store {
+                    CoordStore::Rep { values } => values
+                        .get(&(key, version))
+                        .cloned()
+                        .unwrap_or_else(Payload::empty),
+                    CoordStore::Srs { heap, .. } => Payload::from(heap.read(entry.addr, entry.len)),
+                };
+                self.respond(client.0, client.1, ClientResp::GetOk { value, version });
+                return;
+            }
+            steps::ReadDecision::Postpone | steps::ReadDecision::Recover => {}
         }
         // Lost data: recover on the fly with high priority (Section 5.5).
         let need_fetch = !entry.fetching;
@@ -933,20 +940,13 @@ impl<T: Transport<Msg>> Node<T> {
                 return;
             };
             loop {
-                let feasible = (0..sr.segs.len()).all(|i| {
-                    let mut rows = std::collections::BTreeSet::new();
-                    for (node, peer) in &sr.peers {
-                        if sr.declined.contains(node) {
-                            continue;
-                        }
-                        for &(si, row) in &peer.parts {
-                            if si == i {
-                                rows.insert(row);
-                            }
-                        }
-                    }
-                    rows.len() >= sr.k
-                });
+                let live: Vec<&[(usize, usize)]> = sr
+                    .peers
+                    .iter()
+                    .filter(|(node, _)| !sr.declined.contains(node))
+                    .map(|(_, peer)| peer.parts.as_slice())
+                    .collect();
+                let feasible = steps::spec_read_feasible(sr.segs.len(), sr.k, &live);
                 if feasible {
                     break;
                 }

@@ -87,15 +87,10 @@ impl Default for NodeOptions {
 /// client `Request`, and re-executing a write after its response was
 /// already delivered assigns a fresh version *outside* the client's
 /// linearization window (e.g. resurrecting an overwritten value). The
-/// coordinator therefore deduplicates by `(client, req)`.
-#[derive(Debug, Clone)]
-pub(crate) enum Dedup {
-    /// Executing (possibly parked or awaiting acks); re-deliveries are
-    /// dropped — the eventual response answers every copy.
-    InFlight,
-    /// Answered; re-deliveries get the cached response resent.
-    Done(ClientResp),
-}
+/// coordinator therefore deduplicates by `(client, req)`. The slot
+/// state machine itself lives in [`crate::protocol::steps`] so the
+/// model checker explores the same transitions.
+pub(crate) type Dedup = crate::protocol::steps::DedupSlot<ClientResp>;
 
 /// Completed [`Dedup`] entries retained per node before the oldest are
 /// pruned. A duplicate is delayed by at most a few hundred microseconds,
@@ -120,10 +115,9 @@ pub(crate) enum OnCommit {
 /// An uncommitted write awaiting redundancy acknowledgements.
 #[derive(Debug)]
 pub(crate) struct PendingPut {
-    /// Nodes whose ack has not arrived yet.
-    pub outstanding: BTreeSet<NodeId>,
-    /// Acks still required before commit (quorum for Rep, all for SRS).
-    pub needed: usize,
+    /// Ack progress toward the commit flag (see
+    /// [`crate::protocol::steps::AckState`]).
+    pub acks: crate::protocol::steps::AckState,
     /// Completion action.
     pub on_commit: OnCommit,
     /// The redundancy messages, kept for retransmission. Receivers
@@ -443,7 +437,7 @@ impl<T: Transport<Msg>> Node<T> {
             p.last_send = now;
             p.retries += 1;
             for (target, msg) in &p.msgs {
-                if p.outstanding.contains(target) {
+                if p.acks.outstanding.contains(target) {
                     self.ep.stats().record_retransmit();
                     let _ = self.ep.send(*target, msg.clone());
                 }

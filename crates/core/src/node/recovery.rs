@@ -99,7 +99,7 @@ impl<T: Transport<Msg>> Node<T> {
             let targets = self.config.replica_targets(g, shard, r);
             let p = self.pending.get_mut(&(g, mid, key, version)).expect("key");
             for t in targets {
-                if p.outstanding.insert(t) {
+                if p.acks.retarget(t) {
                     let msg = Msg::Replicate {
                         group: g,
                         memgest: mid,

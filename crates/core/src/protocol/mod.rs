@@ -1,0 +1,11 @@
+//! Pure, side-effect-free protocol logic shared by the live node
+//! (`crate::node`) and the explicit-state model checker
+//! (`crates/model`).
+//!
+//! The node owns the transports, timers and storage; everything here is
+//! plain data in, plain data out. That split is what lets the model
+//! checker explore the exact decision procedures the implementation
+//! runs — drift between the two would otherwise be invisible until a
+//! chaos seed happened to hit it.
+
+pub mod steps;

@@ -1,0 +1,310 @@
+--------------------------- MODULE RingWriteSemantics ---------------------------
+(***************************************************************************)
+(* Write semantics of Ring's per-item commit protocol (EuroSys'18,        *)
+(* Sections 5.1-5.3), as implemented by `crates/core`:                    *)
+(*                                                                        *)
+(*   PrepareMeta -> redundancy fan-out -> commit-flag publish ->          *)
+(*   read visibility, plus at-most-once dedup of re-delivered client      *)
+(*   requests, redundancy-node crash + spare promotion, coordinator       *)
+(*   crash + metadata-led recovery, and late-binding degraded reads.      *)
+(*                                                                        *)
+(* The Rust explicit-state checker in `src/spec.rs` mirrors these actions *)
+(* one-to-one (each transition carries a `// tla:` doc marker naming its  *)
+(* action here; ring-lint's `model-drift` rule enforces the mapping for   *)
+(* the shared `ring_kvs::protocol::steps` functions). TLC is not run in   *)
+(* this offline environment -- the `ring-model` binary explores exactly   *)
+(* this transition system instead.                                        *)
+(***************************************************************************)
+EXTENDS Naturals, Sequences, FiniteSets
+
+CONSTANTS
+    Clients,        \* client identities, each with a finite op script
+    Keys,           \* keys under test
+    Redundancy,     \* redundancy node identities (replicas or parities)
+    Spares,         \* number of promotable spare nodes
+    MaxCrashes,     \* crash budget across the execution
+    Script,         \* [Clients -> Seq(ops)], op = [kind |-> "put"|"get", key |-> Keys]
+    AcksNeeded      \* acks required before the commit flag may be set
+                    \* (r-1 sync / quorum for Rep, all m parities for SRS)
+
+VARIABLES
+    versions,       \* [Keys -> Seq(version records)]: writer, acks, flags
+    clients,        \* [Clients -> client record]: pc, pending op, retries
+    dedup,          \* at-most-once table: (client, op) -> InFlight | Done(resp)
+    up,             \* [Redundancy -> BOOLEAN]
+    spares,         \* spares remaining
+    crashes,        \* crashes spent
+    exposed         \* [Keys -> Nat]: highest version made visible to any client
+
+vars == <<versions, clients, dedup, up, spares, crashes, exposed>>
+
+NoVer == 0
+
+HighestVersion(k) ==
+    IF versions[k] = <<>> THEN NoVer
+    ELSE versions[k][Len(versions[k])].ver
+
+(***************************************************************************)
+(* Init                                                                   *)
+(***************************************************************************)
+Init ==
+    /\ versions = [k \in Keys |-> <<>>]
+    /\ clients = [c \in Clients |-> [pc |-> 1, pend |-> "idle", retries |-> 0]]
+    /\ dedup = [x \in {} |-> {}]
+    /\ up = [n \in Redundancy |-> TRUE]
+    /\ spares = Spares
+    /\ crashes = 0
+    /\ exposed = [k \in Keys |-> NoVer]
+
+(***************************************************************************)
+(* Client issue actions                                                   *)
+(***************************************************************************)
+
+\* A client whose script's next op is a put submits it.
+IssuePut(c) ==
+    /\ clients[c].pend = "idle"
+    /\ clients[c].pc <= Len(Script[c])
+    /\ Script[c][clients[c].pc].kind = "put"
+    /\ clients' = [clients EXCEPT ![c].pend = "put-issued"]
+    /\ UNCHANGED <<versions, dedup, up, spares, crashes, exposed>>
+
+\* A client whose script's next op is a get submits it; the read's
+\* real-time floor is the highest version already exposed for the key.
+IssueGet(c) ==
+    /\ clients[c].pend = "idle"
+    /\ clients[c].pc <= Len(Script[c])
+    /\ Script[c][clients[c].pc].kind = "get"
+    /\ clients' = [clients EXCEPT
+         ![c].pend = [st |-> "get-issued",
+                      floor |-> exposed[Script[c][clients[c].pc].key]]]
+    /\ UNCHANGED <<versions, dedup, up, spares, crashes, exposed>>
+
+(***************************************************************************)
+(* Write path                                                             *)
+(***************************************************************************)
+
+\* The coordinator write-aheads a submitted put: assigns the next
+\* version (steps::next_version), records the uncommitted entry before
+\* any redundancy traffic, opens the at-most-once window
+\* (DedupSlot::InFlight) and the ack tracker (steps::AckState::open with
+\* steps::acks_needed acks required), and fans out to every redundancy
+\* node.
+CoordPrepare(c) ==
+    /\ clients[c].pend = "put-issued"
+    /\ LET k == Script[c][clients[c].pc].key
+           v == HighestVersion(k) + 1
+       IN /\ versions' = [versions EXCEPT ![k] = Append(@,
+               [ver |-> v, writer |-> <<c, clients[c].pc>>,
+                outstanding |-> Redundancy, needed |-> AcksNeeded,
+                committed |-> FALSE, recovered |-> FALSE,
+                holders |-> {}, coorddata |-> TRUE])]
+          /\ dedup' = dedup @@ (<<c, clients[c].pc>> :> "inflight")
+          /\ clients' = [clients EXCEPT ![c].pend = [st |-> "put-prepared",
+                                                     key |-> k, ver |-> v]]
+    /\ UNCHANGED <<up, spares, crashes, exposed>>
+
+\* One redundancy node acknowledges a fanned-out write
+\* (steps::AckState::apply_ack): each node counts at most once, and the
+\* commit flag becomes publishable when `needed` reaches zero.
+RedundancyAck(k, i, n) ==
+    /\ i \in 1..Len(versions[k])
+    /\ up[n]
+    /\ n \in versions[k][i].outstanding
+    /\ ~versions[k][i].committed
+    /\ versions' = [versions EXCEPT
+         ![k][i].outstanding = @ \ {n},
+         ![k][i].needed = IF @ > 0 THEN @ - 1 ELSE 0,
+         ![k][i].holders = @ \cup {n}]
+    /\ UNCHANGED <<clients, dedup, up, spares, crashes, exposed>>
+
+\* With every required ack gathered, the coordinator publishes the
+\* commit flag, answers the client (settling its at-most-once window to
+\* Done via steps::settle_dedup), and the version becomes readable.
+\* A superseded version may commit after a higher one (Figure 5).
+CommitFlag(c) ==
+    /\ clients[c].pend # "idle" /\ clients[c].pend # "put-issued"
+    /\ clients[c].pend.st = "put-prepared"
+    /\ LET k == clients[c].pend.key
+           v == clients[c].pend.ver
+       IN \E i \in 1..Len(versions[k]) :
+            /\ versions[k][i].ver = v
+            /\ versions[k][i].needed = 0
+            /\ ~versions[k][i].committed
+            /\ versions' = [versions EXCEPT ![k][i].committed = TRUE]
+            /\ dedup' = [dedup EXCEPT ![<<c, clients[c].pc>>] = "done"]
+            /\ exposed' = [exposed EXCEPT ![k] =
+                 IF v > @ THEN v ELSE @]
+            /\ clients' = [clients EXCEPT ![c].pend = "idle",
+                                          ![c].pc = @ + 1,
+                                          ![c].retries = 0]
+    /\ UNCHANGED <<up, spares, crashes>>
+
+\* The fabric re-delivers a client's in-flight put request. The
+\* coordinator consults the at-most-once table (steps::dedup_decision):
+\* InFlight drops the duplicate, Done resends the cached response --
+\* only an absent slot may execute, so a duplicate never assigns a
+\* second version.
+RetryDeliver(c) ==
+    /\ clients[c].pend # "idle" /\ clients[c].pend # "put-issued"
+    /\ clients[c].pend.st = "put-prepared"
+    /\ clients[c].retries < 1
+    /\ clients' = [clients EXCEPT ![c].retries = @ + 1]
+    /\ UNCHANGED <<versions, dedup, up, spares, crashes, exposed>>
+
+(***************************************************************************)
+(* Read path                                                              *)
+(***************************************************************************)
+
+\* A get binds to the key's highest version (steps::read_decision): only
+\* once that version's commit flag is set, and never to an older one --
+\* an uncommitted latest version postpones the read (Figure 5).
+GetBind(c) ==
+    /\ clients[c].pend # "idle" /\ clients[c].pend # "put-issued"
+    /\ clients[c].pend.st = "get-issued"
+    /\ LET k == Script[c][clients[c].pc].key
+       IN IF versions[k] = <<>>
+          THEN clients' = [clients EXCEPT ![c].pend =
+                 [st |-> "get-bound", key |-> k,
+                  floor |-> clients[c].pend.floor, found |-> NoVer]]
+          ELSE LET i == Len(versions[k])
+               IN /\ versions[k][i].committed
+                  /\ versions[k][i].coorddata
+                  /\ clients' = [clients EXCEPT ![c].pend =
+                       [st |-> "get-bound", key |-> k,
+                        floor |-> clients[c].pend.floor,
+                        found |-> versions[k][i].ver]]
+    /\ UNCHANGED <<versions, dedup, up, spares, crashes, exposed>>
+
+\* Degraded read: the bytes of the latest committed version were lost
+\* with the coordinator, so the read binds late against the surviving
+\* redundancy (steps::spec_read_feasible) -- it still serves the same
+\* latest committed version, never an older copy.
+DegradedBind(c) ==
+    /\ clients[c].pend # "idle" /\ clients[c].pend # "put-issued"
+    /\ clients[c].pend.st = "get-issued"
+    /\ LET k == Script[c][clients[c].pc].key
+       IN /\ versions[k] # <<>>
+          /\ LET i == Len(versions[k])
+             IN /\ versions[k][i].committed
+                /\ ~versions[k][i].coorddata
+                /\ \E n \in versions[k][i].holders : up[n]
+                /\ clients' = [clients EXCEPT ![c].pend =
+                     [st |-> "get-bound", key |-> k,
+                      floor |-> clients[c].pend.floor,
+                      found |-> versions[k][i].ver]]
+    /\ UNCHANGED <<versions, dedup, up, spares, crashes, exposed>>
+
+\* The bound read returns to the client, exposing the version it served.
+GetReturn(c) ==
+    /\ clients[c].pend # "idle" /\ clients[c].pend # "put-issued"
+    /\ clients[c].pend.st = "get-bound"
+    /\ exposed' = [exposed EXCEPT ![clients[c].pend.key] =
+         IF clients[c].pend.found > @ THEN clients[c].pend.found ELSE @]
+    /\ clients' = [clients EXCEPT ![c].pend = "idle", ![c].pc = @ + 1]
+    /\ UNCHANGED <<versions, dedup, up, spares, crashes>>
+
+(***************************************************************************)
+(* Failures                                                               *)
+(***************************************************************************)
+
+\* A redundancy node dies; its pending acks never arrive.
+CrashRedundancy(n) ==
+    /\ crashes < MaxCrashes
+    /\ up[n]
+    /\ up' = [up EXCEPT ![n] = FALSE]
+    /\ crashes' = crashes + 1
+    /\ UNCHANGED <<versions, clients, dedup, spares, exposed>>
+
+\* The leader promotes a spare into the dead node's slot: the fresh node
+\* holds no data, and every still-pending write re-targets it
+\* (steps::AckState::retarget) so its ack can complete the quorum.
+SparePromote(n) ==
+    /\ ~up[n]
+    /\ spares > 0
+    /\ up' = [up EXCEPT ![n] = TRUE]
+    /\ spares' = spares - 1
+    /\ versions' = [k \in Keys |->
+         [i \in 1..Len(versions[k]) |->
+            LET rec == versions[k][i]
+            IN IF rec.committed
+               THEN [rec EXCEPT !.holders = @ \ {n}]
+               ELSE [rec EXCEPT !.holders = @ \ {n},
+                                !.outstanding = @ \cup {n}]]]
+    /\ UNCHANGED <<clients, dedup, crashes, exposed>>
+
+\* The coordinator crashes and a spare recovers it metadata-first
+\* (Section 6): committed versions survive with their local bytes lost;
+\* an uncommitted version seen by at least one redundancy node is
+\* completed by recovery (recovered-committed); one seen by nobody is
+\* discarded, freeing its version number. Writers still waiting time
+\* out with an indeterminate ("maybe") outcome.
+CoordCrashRecover ==
+    /\ crashes < MaxCrashes
+    /\ versions' = [k \in Keys |->
+         SelectSeq([i \in 1..Len(versions[k]) |->
+                      LET rec == versions[k][i]
+                      IN IF rec.committed
+                         THEN [rec EXCEPT !.coorddata = FALSE]
+                         ELSE IF rec.holders # {}
+                              THEN [rec EXCEPT !.committed = TRUE,
+                                               !.recovered = TRUE,
+                                               !.coorddata = FALSE]
+                              ELSE rec],
+                   LAMBDA rec : rec.committed \/ rec.holders # {})]
+    /\ clients' = [c \in Clients |->
+         IF /\ clients[c].pend # "idle" /\ clients[c].pend # "put-issued"
+            /\ clients[c].pend.st = "put-prepared"
+         THEN [clients[c] EXCEPT !.pend = "idle", !.pc = @ + 1,
+                                 !.retries = 1]
+         ELSE clients[c]]
+    /\ crashes' = crashes + 1
+    /\ UNCHANGED <<dedup, up, spares, exposed>>
+
+(***************************************************************************)
+(* Next / Spec                                                            *)
+(***************************************************************************)
+Next ==
+    \/ \E c \in Clients :
+         IssuePut(c) \/ IssueGet(c) \/ CoordPrepare(c) \/ CommitFlag(c)
+         \/ RetryDeliver(c) \/ GetBind(c) \/ DegradedBind(c) \/ GetReturn(c)
+    \/ \E k \in Keys : \E i \in Nat : \E n \in Redundancy :
+         RedundancyAck(k, i, n)
+    \/ \E n \in Redundancy : CrashRedundancy(n) \/ SparePromote(n)
+    \/ CoordCrashRecover
+
+Spec == Init /\ [][Next]_vars
+
+(***************************************************************************)
+(* Safety invariants                                                      *)
+(***************************************************************************)
+
+\* At-most-once: a client op never materializes as two live versions --
+\* the dedup table stops a re-delivered request from re-executing.
+AtMostOnce ==
+    \A k \in Keys :
+        \A i, j \in 1..Len(versions[k]) :
+            (i # j) => versions[k][i].writer # versions[k][j].writer
+
+\* The commit flag is only ever published after every required
+\* redundancy ack (recovery-committed versions are exempt: they were
+\* completed from the redundancy itself).
+NoTornCommit ==
+    \A k \in Keys :
+        \A i \in 1..Len(versions[k]) :
+            (versions[k][i].committed /\ ~versions[k][i].recovered)
+                => versions[k][i].needed = 0
+
+\* Read visibility is monotone and commit-gated: a bound read serves a
+\* committed version at least as new as every version exposed before
+\* the read was issued.
+CommittedReadsLatest ==
+    \A c \in Clients :
+        LET p == clients[c].pend
+        IN (p # "idle" /\ p # "put-issued" /\ p.st = "get-bound")
+           => /\ p.found >= p.floor
+              /\ (p.found # NoVer =>
+                    \E i \in 1..Len(versions[p.key]) :
+                        /\ versions[p.key][i].ver = p.found
+                        /\ versions[p.key][i].committed)
+
+===============================================================================

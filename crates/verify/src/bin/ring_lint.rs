@@ -27,13 +27,14 @@ struct Args {
     det: bool,
     root: PathBuf,
     allowlist: Option<PathBuf>,
+    tla: Option<PathBuf>,
     files: Vec<String>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ring-lint --workspace [--json] [--root PATH]\n\
-         \u{20}      ring-lint [--det] [--allowlist PATH] [--json] FILE..."
+         \u{20}      ring-lint [--det] [--allowlist PATH] [--tla SPEC] [--json] FILE..."
     );
     ExitCode::from(2)
 }
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         det: false,
         root: PathBuf::from("."),
         allowlist: None,
+        tla: None,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -58,6 +60,9 @@ fn parse_args() -> Result<Args, ExitCode> {
             }
             "--allowlist" => {
                 args.allowlist = Some(PathBuf::from(it.next().ok_or_else(usage)?));
+            }
+            "--tla" => {
+                args.tla = Some(PathBuf::from(it.next().ok_or_else(usage)?));
             }
             "--help" | "-h" => {
                 return Err(usage());
@@ -100,7 +105,17 @@ fn main() -> ExitCode {
             },
             None => BTreeSet::new(),
         };
-        Workspace::explicit(&args.root, args.files.clone(), args.det, allowlist)
+        let ws = Workspace::explicit(&args.root, args.files.clone(), args.det, allowlist);
+        match &args.tla {
+            Some(p) => match std::fs::read_to_string(p) {
+                Ok(text) => ws.with_tla_actions(rules::parse_tla_actions(&text)),
+                Err(e) => {
+                    eprintln!("ring-lint: failed to read spec {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            },
+            None => ws,
+        }
     };
 
     let diags = match ws.lint() {

@@ -33,12 +33,19 @@ pub use rules::Diagnostic;
 /// allowlist.
 pub const RELAXED_ALLOWLIST: &str = "crates/verify/relaxed_allowlist.txt";
 
+/// Default workspace-relative location of the TLA+ write-semantics
+/// spec, the source of truth for `// tla:` markers (model-drift rule).
+pub const TLA_SPEC: &str = "crates/model/specs/RingWriteSemantics.tla";
+
 /// A linting run over a set of files.
 pub struct Workspace {
     root: PathBuf,
     /// Workspace-relative paths of files to lint.
     files: Vec<String>,
     relaxed_allowlist: BTreeSet<String>,
+    /// Top-level definitions of the TLA+ spec; empty disables the
+    /// model-drift rule.
+    tla_actions: BTreeSet<String>,
     /// Override: treat all files as deterministic-path (fixture mode).
     force_deterministic: Option<bool>,
 }
@@ -71,10 +78,17 @@ impl Workspace {
         } else {
             BTreeSet::new()
         };
+        let spec_path = root.join(TLA_SPEC);
+        let tla_actions = if spec_path.is_file() {
+            rules::parse_tla_actions(&std::fs::read_to_string(&spec_path)?)
+        } else {
+            BTreeSet::new()
+        };
         Ok(Workspace {
             root: root.to_path_buf(),
             files,
             relaxed_allowlist,
+            tla_actions,
             force_deterministic: None,
         })
     }
@@ -91,8 +105,18 @@ impl Workspace {
             root: root.to_path_buf(),
             files,
             relaxed_allowlist: allowlist,
+            tla_actions: BTreeSet::new(),
             force_deterministic: Some(deterministic),
         }
+    }
+
+    /// Supplies TLA+ definition names for the model-drift rule
+    /// (fixture/test mode; [`Workspace::discover`] reads them from
+    /// [`TLA_SPEC`] automatically). In explicit mode every listed file
+    /// is treated as a model-mirror file once actions are supplied.
+    pub fn with_tla_actions(mut self, actions: BTreeSet<String>) -> Self {
+        self.tla_actions = actions;
+        self
     }
 
     /// The files this run will lint (workspace-relative).
@@ -108,11 +132,12 @@ impl Workspace {
         let mut lexed_files = Vec::with_capacity(self.files.len());
         for rel in &self.files {
             let src = std::fs::read_to_string(self.root.join(rel))?;
-            lexed_files.push((rel.clone(), lexer::lex(&src)));
+            let lexed = lexer::lex(&src);
+            lexed_files.push((rel.clone(), src, lexed));
         }
         let mut crate_hash_names: std::collections::BTreeMap<String, BTreeSet<String>> =
             std::collections::BTreeMap::new();
-        for (rel, lexed) in &lexed_files {
+        for (rel, _, lexed) in &lexed_files {
             crate_hash_names
                 .entry(crate_of(rel))
                 .or_default()
@@ -122,16 +147,25 @@ impl Workspace {
         // Pass 2: run the rules.
         let mut out = Vec::new();
         let empty = BTreeSet::new();
-        for (rel, lexed) in &lexed_files {
+        for (rel, src, lexed) in &lexed_files {
             let deterministic = self
                 .force_deterministic
                 .unwrap_or_else(|| rules::is_deterministic_path(rel));
+            // Explicit (fixture) runs opt in by supplying actions;
+            // workspace runs are path-scoped.
+            let model_mirror = match self.force_deterministic {
+                Some(_) => !self.tla_actions.is_empty(),
+                None => rules::is_model_mirror_path(rel),
+            };
             let ctx = rules::FileContext {
                 rel_path: rel,
+                raw: src,
                 lexed,
                 deterministic,
+                model_mirror,
                 relaxed_allowlisted: self.relaxed_allowlist.contains(rel),
                 hash_names: crate_hash_names.get(&crate_of(rel)).unwrap_or(&empty),
+                tla_actions: &self.tla_actions,
             };
             out.extend(rules::lint_file(&ctx));
         }

@@ -20,14 +20,18 @@ pub const GUARD_ACROSS_SEND: &str = "guard-across-send";
 pub const RELAXED_ORDERING: &str = "relaxed-ordering";
 /// Rule id: iteration over a hash table feeding seeded protocol paths.
 pub const HASHMAP_ITERATION: &str = "hashmap-iteration";
+/// Rule id: shared protocol step without a `// tla:` marker tying it to
+/// an action of the TLA+ spec (or naming an action that does not exist).
+pub const MODEL_DRIFT: &str = "model-drift";
 
 /// All rule ids, in reporting order.
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 6] = [
     AMBIENT_TIME,
     AMBIENT_ENTROPY,
     GUARD_ACROSS_SEND,
     RELAXED_ORDERING,
     HASHMAP_ITERATION,
+    MODEL_DRIFT,
 ];
 
 /// One lint finding.
@@ -57,14 +61,22 @@ impl std::fmt::Display for Diagnostic {
 pub struct FileContext<'a> {
     /// Workspace-relative path (diagnostics use this verbatim).
     pub rel_path: &'a str,
+    /// Raw source text (the lexer drops comments; `model-drift` reads
+    /// the `// tla:` markers from here).
+    pub raw: &'a str,
     /// Lexed source.
     pub lexed: &'a Lexed,
     /// Whether the deterministic-path rules apply to this file.
     pub deterministic: bool,
+    /// Whether the model-drift rule applies to this file.
+    pub model_mirror: bool,
     /// Whether the file is on the relaxed-ordering allowlist.
     pub relaxed_allowlisted: bool,
     /// Hash-typed names collected crate-wide (for hashmap-iteration).
     pub hash_names: &'a BTreeSet<String>,
+    /// Top-level definition names of the TLA+ spec (empty when the spec
+    /// file is absent, which disables model-drift).
+    pub tla_actions: &'a BTreeSet<String>,
 }
 
 /// True if `rel_path` is inside a deterministic simulation path: the
@@ -83,9 +95,51 @@ pub fn is_deterministic_path(rel_path: &str) -> bool {
         "crates/core/src/",
         "crates/wire/src/",
         "crates/server/src/",
+        "crates/model/src/",
     ]
     .iter()
     .any(|p| rel_path.starts_with(p))
+}
+
+/// True if `rel_path` holds protocol logic mirrored by the TLA+ spec:
+/// the shared step functions under `crates/core/src/protocol/`. Every
+/// `pub fn` there must carry a `// tla: <Action>` marker (see
+/// [`model_drift`]).
+pub fn is_model_mirror_path(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/core/src/protocol/")
+}
+
+/// Parses the top-level definition names of a TLA+ module: lines of the
+/// form `Name ==` or `Name(args) ==` starting in column 0. Actions,
+/// invariants, and helper operators all count — the marker namespace is
+/// the module's namespace.
+pub fn parse_tla_actions(text: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in text.lines() {
+        let Some(first) = line.chars().next() else {
+            continue;
+        };
+        if !(first.is_ascii_alphabetic() || first == '_') {
+            continue;
+        }
+        let name: String = line
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let rest = line[name.len()..].trim_start();
+        let rest = if let Some(stripped) = rest.strip_prefix('(') {
+            match stripped.split_once(')') {
+                Some((_, after)) => after.trim_start(),
+                None => continue,
+            }
+        } else {
+            rest
+        };
+        if rest.starts_with("==") {
+            names.insert(name);
+        }
+    }
+    names
 }
 
 /// Line spans covered by `#[cfg(test)] mod ... { ... }`, so rules can
@@ -173,6 +227,9 @@ pub fn lint_file(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
         ambient_time(ctx, &spans, &mut out);
         ambient_entropy(ctx, &spans, &mut out);
         hashmap_iteration(ctx, &spans, &mut out);
+    }
+    if ctx.model_mirror && !ctx.tla_actions.is_empty() {
+        model_drift(ctx, &spans, &mut out);
     }
     guard_across_send(ctx, &spans, &mut out);
     relaxed_ordering(ctx, &spans, &mut out);
@@ -559,6 +616,79 @@ fn hashmap_iteration(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<
                  hash order is process-random — use BTreeMap/BTreeSet or sort first"
             ),
         });
+    }
+}
+
+/// `model-drift`: every `pub fn` in the shared protocol-steps module
+/// must carry a `// tla: <Action>` marker in the comment block directly
+/// above it, and the marker must name a definition that actually exists
+/// in `RingWriteSemantics.tla`. The step functions are the ground truth
+/// both the live node and the explicit-state checker execute; the
+/// markers are the audited map between them and the spec, so a renamed
+/// or deleted spec action — or an unmarked new transition — fails the
+/// lint instead of silently diverging.
+fn model_drift(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+    let lines: Vec<&str> = ctx.raw.lines().collect();
+    for (idx, line) in lines.iter().enumerate() {
+        let trimmed = line.trim_start();
+        let is_pub_fn = trimmed.starts_with("pub fn ")
+            || trimmed.starts_with("pub(crate) fn ")
+            || trimmed.starts_with("pub(super) fn ");
+        if !is_pub_fn {
+            continue;
+        }
+        let after_fn = trimmed
+            .split_once("fn ")
+            .map(|(_, rest)| rest)
+            .unwrap_or("");
+        let fn_name: String = after_fn
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        let line_no = (idx + 1) as u32;
+        if in_spans(spans, line_no) || ctx.lexed.allowed(MODEL_DRIFT, line_no) {
+            continue;
+        }
+        // Walk the contiguous comment/attribute block directly above
+        // the `pub fn` looking for a `// tla: <Action>` marker.
+        let mut marker: Option<&str> = None;
+        let mut j = idx;
+        while j > 0 {
+            j -= 1;
+            let above = lines[j].trim_start();
+            if above.starts_with("#[") || above.starts_with("#!") {
+                continue; // Attributes don't break the block.
+            }
+            if !above.starts_with("//") {
+                break;
+            }
+            let comment = above.trim_start_matches('/').trim_start();
+            if let Some(rest) = comment.strip_prefix("tla:") {
+                marker = Some(rest.trim());
+                break;
+            }
+        }
+        match marker {
+            None => out.push(Diagnostic {
+                file: ctx.rel_path.to_string(),
+                line: line_no,
+                rule: MODEL_DRIFT,
+                message: format!(
+                    "protocol step `{fn_name}` has no `// tla: <Action>` marker; every \
+                     shared transition must name the spec action it mirrors"
+                ),
+            }),
+            Some(action) if !ctx.tla_actions.contains(action) => out.push(Diagnostic {
+                file: ctx.rel_path.to_string(),
+                line: line_no,
+                rule: MODEL_DRIFT,
+                message: format!(
+                    "`// tla: {action}` on `{fn_name}` names no definition in the spec; \
+                     the marker must match a top-level action of RingWriteSemantics.tla"
+                ),
+            }),
+            Some(_) => {}
+        }
     }
 }
 

@@ -1,0 +1,17 @@
+//! model-drift positive fixture: an unmarked step and a marker naming
+//! a definition absent from the spec.
+
+/// A transition with no marker at all.
+pub fn unmarked_step(v: u64) -> u64 {
+    v + 1
+}
+
+// tla: NoSuchAction
+pub fn mislabeled_step(v: u64) -> u64 {
+    v - 1
+}
+
+// tla: CommitFlag
+pub fn properly_marked(v: u64) -> u64 {
+    v
+}

@@ -1,0 +1,33 @@
+//! model-drift negative fixture: marked steps, attribute between
+//! marker and fn, a suppressed helper, and a test-module fn all pass.
+
+/// Assigns the next version.
+// tla: CoordPrepare
+pub fn next_version(v: u64) -> u64 {
+    v + 1
+}
+
+// tla: RedundancyAck
+#[inline]
+pub fn apply_ack(need: usize) -> usize {
+    need.saturating_sub(1)
+}
+
+// A helper that genuinely has no spec counterpart is suppressed
+// explicitly, leaving an audit trail.
+// ring-lint: allow(model-drift)
+pub fn render_debug(need: usize) -> String {
+    format!("{need}")
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn unmarked_test_helper() -> u64 {
+        1
+    }
+
+    #[test]
+    fn versions_advance() {
+        assert_eq!(super::next_version(unmarked_test_helper()), 2);
+    }
+}

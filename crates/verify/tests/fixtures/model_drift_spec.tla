@@ -1,0 +1,14 @@
+---- MODULE ModelDriftFixture ----
+\* Hermetic stand-in for RingWriteSemantics.tla: just enough top-level
+\* definitions for the model-drift fixtures to validate markers against.
+
+CoordPrepare(c) ==
+    /\ TRUE
+
+RedundancyAck(k, i, n) ==
+    /\ TRUE
+
+CommitFlag(c) ==
+    /\ TRUE
+
+====

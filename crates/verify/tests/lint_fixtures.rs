@@ -118,6 +118,88 @@ fn hashmap_iteration_negative() {
     assert_eq!(lint_fixture("hashmap_iteration_ok.rs", None), vec![]);
 }
 
+/// Lints one fixture as a model-mirror file against the hermetic
+/// fixture spec and returns `(line, rule)` pairs.
+fn lint_model_fixture(name: &str) -> Vec<(u32, &'static str)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let rel = format!("tests/fixtures/{name}");
+    let spec = std::fs::read_to_string(root.join("tests/fixtures/model_drift_spec.tla"))
+        .expect("fixture spec readable");
+    let ws = Workspace::explicit(root, vec![rel.clone()], false, BTreeSet::new())
+        .with_tla_actions(rules::parse_tla_actions(&spec));
+    let diags = ws.lint().expect("fixture readable");
+    for d in &diags {
+        assert_eq!(d.file, rel, "diagnostic names the linted file");
+    }
+    diags.into_iter().map(|d| (d.line, d.rule)).collect()
+}
+
+#[test]
+fn model_drift_positive() {
+    // An unmarked step and a marker naming a nonexistent action; the
+    // correctly marked step is clean.
+    assert_eq!(
+        lint_model_fixture("model_drift_bad.rs"),
+        vec![(5, rules::MODEL_DRIFT), (10, rules::MODEL_DRIFT)]
+    );
+}
+
+#[test]
+fn model_drift_negative() {
+    // Valid markers (including one separated from the fn by an
+    // attribute), an allow-directive helper, and a #[cfg(test)] module
+    // all pass.
+    assert_eq!(lint_model_fixture("model_drift_ok.rs"), vec![]);
+}
+
+#[test]
+fn tla_action_parser_reads_top_level_definitions() {
+    let spec = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/model_drift_spec.tla"),
+    )
+    .expect("fixture spec readable");
+    let actions = rules::parse_tla_actions(&spec);
+    for a in ["CoordPrepare", "RedundancyAck", "CommitFlag"] {
+        assert!(actions.contains(a), "missing {a}");
+    }
+    assert_eq!(actions.len(), 3, "{actions:?}");
+}
+
+/// The real spec and the real steps module must agree — the workspace
+/// run of the linter over the live tree reports no model drift.
+#[test]
+fn live_steps_module_matches_live_spec() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("repo root");
+    let spec = std::fs::read_to_string(repo_root.join(ring_verify::TLA_SPEC))
+        .expect("RingWriteSemantics.tla present");
+    let actions = rules::parse_tla_actions(&spec);
+    // The canonical action set is all there.
+    for a in [
+        "IssuePut",
+        "CoordPrepare",
+        "RedundancyAck",
+        "CommitFlag",
+        "RetryDeliver",
+        "GetBind",
+        "DegradedBind",
+        "SparePromote",
+        "CoordCrashRecover",
+    ] {
+        assert!(actions.contains(a), "spec lost action {a}");
+    }
+    let ws = Workspace::discover(repo_root).expect("discover");
+    let drift: Vec<_> = ws
+        .lint()
+        .expect("lint")
+        .into_iter()
+        .filter(|d| d.rule == rules::MODEL_DRIFT)
+        .collect();
+    assert!(drift.is_empty(), "model drift in live tree: {drift:?}");
+}
+
 #[test]
 fn wire_crate_idioms_flagged() {
     // Codec-shaped code: hash-ordered decoder dispatch and a wall-clock
@@ -142,6 +224,7 @@ fn deterministic_scope_covers_wire_and_server() {
         "crates/core/src/node/mod.rs",
         "crates/wire/src/enc.rs",
         "crates/server/src/harness.rs",
+        "crates/model/src/explore.rs",
     ] {
         assert!(rules::is_deterministic_path(p), "{p} must be in scope");
     }
