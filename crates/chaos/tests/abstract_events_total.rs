@@ -24,7 +24,9 @@ fn event_from(raw: (u8, u8, u32, u64, u64, u64)) -> Event {
         },
         1 => Invocation::Get,
         2 => Invocation::Delete,
-        _ => Invocation::Move { to: (op % 8) as u32 },
+        _ => Invocation::Move {
+            to: (op % 8) as u32,
+        },
     };
     let outcome = match out_sel % 7 {
         0 => Outcome::PutOk {

@@ -141,7 +141,32 @@ impl<T: Transport<Msg>> Leader<T> {
                 }
             }
             Msg::Request { req, body } => self.handle_request(from, req, body),
-            _ => {}
+            // The leader is control-plane only: data-plane traffic
+            // (replication, parity, recovery, shard reads) never
+            // addresses it. Dropping these is deliberate — enumerated
+            // rather than `_` so adding a `Msg` variant forces a
+            // routing decision here instead of vanishing silently.
+            Msg::Response { .. }
+            | Msg::Replicate { .. }
+            | Msg::ReplicateAck { .. }
+            | Msg::ParityUpdate { .. }
+            | Msg::ParityAck { .. }
+            | Msg::MetaRemove { .. }
+            | Msg::ConfigUpdate { .. }
+            | Msg::MemgestCreate { .. }
+            | Msg::MemgestDrop { .. }
+            | Msg::SetDefault { .. }
+            | Msg::MetaFetch { .. }
+            | Msg::MetaFetchResp { .. }
+            | Msg::FetchValue { .. }
+            | Msg::FetchValueResp { .. }
+            | Msg::RecoverBlock { .. }
+            | Msg::RecoverBlockResp { .. }
+            | Msg::ShardRead { .. }
+            | Msg::ShardReadResp { .. }
+            | Msg::ParityRebuildStart { .. }
+            | Msg::ParityRebuildInfo { .. }
+            | Msg::ParityRebuildDone { .. } => {}
         }
     }
 

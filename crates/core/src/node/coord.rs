@@ -84,8 +84,7 @@ impl<T: Transport<Msg>> Node<T> {
     /// silently ignored requests leave no trace, so the right node's
     /// execution is unaffected.
     fn dedup_open(&mut self, from: NodeId, req: ReqId) {
-        self.dedup
-            .insert((from, req), steps::DedupSlot::InFlight);
+        self.dedup.insert((from, req), steps::DedupSlot::InFlight);
     }
 
     /// Sends a client response, settling the request's at-most-once

@@ -508,7 +508,19 @@ impl WireSize for Msg {
                 } => 32 + config.nodes.len() * 4 + memgests.len() * 16,
                 // Beacons and acks are a few ids at most.
                 Msg::Heartbeat | Msg::CtrlAck { .. } => 8,
-                _ => 24,
+                // Fixed-size control messages: ids, keys, versions —
+                // enumerated so a new variant must pick a size here.
+                Msg::ReplicateAck { .. }
+                | Msg::ParityAck { .. }
+                | Msg::MetaRemove { .. }
+                | Msg::MemgestCreate { .. }
+                | Msg::MemgestDrop { .. }
+                | Msg::SetDefault { .. }
+                | Msg::MetaFetch { .. }
+                | Msg::FetchValue { .. }
+                | Msg::RecoverBlock { .. }
+                | Msg::ParityRebuildStart { .. }
+                | Msg::ParityRebuildDone { .. } => 24,
             }
     }
 }

@@ -309,7 +309,10 @@ mod tests {
             tombstone,
             data_present,
         };
-        assert_eq!(read_decision(&e(false, false, true)), ReadDecision::Postpone);
+        assert_eq!(
+            read_decision(&e(false, false, true)),
+            ReadDecision::Postpone
+        );
         assert_eq!(read_decision(&e(false, true, true)), ReadDecision::Postpone);
         assert_eq!(read_decision(&e(true, true, false)), ReadDecision::NotFound);
         assert_eq!(read_decision(&e(true, false, true)), ReadDecision::Serve);

@@ -174,7 +174,11 @@ impl Search<'_> {
         let op = &self.ops[i];
         let mut out = Vec::new();
         match &op.kind {
-            AbstractKind::Write { tag, version, definite } => {
+            AbstractKind::Write {
+                tag,
+                version,
+                definite,
+            } => {
                 match *version {
                     // Pinned execution: the next_version discipline
                     // demands a fresh, larger version.

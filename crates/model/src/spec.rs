@@ -469,7 +469,13 @@ fn commit_flag(_cfg: &Config, s: &State, c: usize, out: &mut Vec<(Action, State)
     let mut t = s.clone();
     t.keys[ki][i].committed = true;
     let writer = (c as u8, cl.pc);
-    steps::settle_dedup(&mut t.dedup, &mut t.dedup_order, writer, ver, MODEL_DEDUP_CAP);
+    steps::settle_dedup(
+        &mut t.dedup,
+        &mut t.dedup_order,
+        writer,
+        ver,
+        MODEL_DEDUP_CAP,
+    );
     if ver > t.exposed[ki] {
         t.exposed[ki] = ver;
     }
@@ -626,7 +632,13 @@ fn get_return(_cfg: &Config, s: &State, c: usize, out: &mut Vec<(Action, State)>
 }
 
 // tla: CrashRedundancy
-fn crash_redundancy(cfg: &Config, s: &State, ni: usize, node: NodeId, out: &mut Vec<(Action, State)>) {
+fn crash_redundancy(
+    cfg: &Config,
+    s: &State,
+    ni: usize,
+    node: NodeId,
+    out: &mut Vec<(Action, State)>,
+) {
     if s.crashes >= cfg.max_crashes || !s.up[ni] {
         return;
     }
@@ -641,7 +653,13 @@ fn crash_redundancy(cfg: &Config, s: &State, ni: usize, node: NodeId, out: &mut 
 /// still-pending write re-targets it via [`steps::AckState::retarget`]
 /// so its ack can complete the quorum.
 // tla: SparePromote
-fn spare_promote(_cfg: &Config, s: &State, ni: usize, node: NodeId, out: &mut Vec<(Action, State)>) {
+fn spare_promote(
+    _cfg: &Config,
+    s: &State,
+    ni: usize,
+    node: NodeId,
+    out: &mut Vec<(Action, State)>,
+) {
     if s.up[ni] || s.spares == 0 {
         return;
     }
@@ -814,10 +832,7 @@ mod tests {
             .unwrap();
         assert!(s4.keys[0][0].committed);
         assert_eq!(s4.exposed[0], 1);
-        assert!(matches!(
-            s4.dedup.get(&(0, 0)),
-            Some(DedupSlot::Done(1))
-        ));
+        assert!(matches!(s4.dedup.get(&(0, 0)), Some(DedupSlot::Done(1))));
     }
 
     #[test]

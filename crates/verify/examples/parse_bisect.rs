@@ -1,0 +1,47 @@
+//! Throwaway-style debug harness kept for parser triage: parses the
+//! files given on the command line (or the whole `crates/` tree) and
+//! prints any parse errors.
+use std::path::{Path, PathBuf};
+
+use ring_verify::lexer::lex;
+use ring_verify::parse::parse;
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<PathBuf> = if args.is_empty() {
+        let mut v = Vec::new();
+        collect_rs(Path::new("crates"), &mut v);
+        v
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    let mut bad = 0usize;
+    for path in &files {
+        let src = std::fs::read_to_string(path).expect("read file");
+        let tree = parse(&lex(&src));
+        for e in &tree.errors {
+            println!("{}:{}: {}", path.display(), e.line, e.msg);
+            bad += 1;
+        }
+    }
+    println!("{} files, {} parse errors", files.len(), bad);
+    std::process::exit(if bad == 0 { 0 } else { 1 });
+}

@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! ring-lint --workspace [--json] [--root PATH]
-//! ring-lint [--det] [--allowlist PATH] [--json] FILE...
+//! ring-lint --workspace [--token] [--json] [--root PATH]
+//! ring-lint [--token] [--det] [--allowlist PATH] [--json] FILE...
 //! ```
 //!
 //! `--workspace` discovers every `.rs` under `crates/*/src` (shims and
@@ -13,18 +13,27 @@
 //! files as deterministic-path, `--allowlist` points at a
 //! relaxed-ordering allowlist (default: none).
 //!
-//! Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//! The tree engine (parse trees + workspace passes) is the default;
+//! `--token` falls back to the token-stream engine, which runs only
+//! the six legacy rules. CI diffs the two on the live workspace to
+//! pin their parity.
+//!
+//! Stale-suppression warnings go to stderr and never affect the exit
+//! code.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage/IO/parse error.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ring_verify::{rules, to_json, Workspace, RELAXED_ALLOWLIST};
+use ring_verify::{rules, to_json, Mode, Workspace, RELAXED_ALLOWLIST};
 
 struct Args {
     workspace: bool,
     json: bool,
     det: bool,
+    token: bool,
     root: PathBuf,
     allowlist: Option<PathBuf>,
     tla: Option<PathBuf>,
@@ -33,8 +42,8 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ring-lint --workspace [--json] [--root PATH]\n\
-         \u{20}      ring-lint [--det] [--allowlist PATH] [--tla SPEC] [--json] FILE..."
+        "usage: ring-lint --workspace [--token] [--json] [--root PATH]\n\
+         \u{20}      ring-lint [--token] [--det] [--allowlist PATH] [--tla SPEC] [--json] FILE..."
     );
     ExitCode::from(2)
 }
@@ -44,6 +53,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         workspace: false,
         json: false,
         det: false,
+        token: false,
         root: PathBuf::from("."),
         allowlist: None,
         tla: None,
@@ -55,6 +65,7 @@ fn parse_args() -> Result<Args, ExitCode> {
             "--workspace" => args.workspace = true,
             "--json" => args.json = true,
             "--det" => args.det = true,
+            "--token" => args.token = true,
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or_else(usage)?);
             }
@@ -117,14 +128,19 @@ fn main() -> ExitCode {
             None => ws,
         }
     };
+    let ws = ws.with_mode(if args.token { Mode::Token } else { Mode::Tree });
 
-    let diags = match ws.lint() {
-        Ok(d) => d,
+    let outcome = match ws.run() {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("ring-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    let diags = outcome.diagnostics;
+    for w in &outcome.warnings {
+        eprintln!("ring-lint: warning: {w}");
+    }
 
     if args.json {
         print!("{}", to_json(&diags));

@@ -1,0 +1,231 @@
+//! Workspace symbol index for the tree-mode semantic passes.
+//!
+//! Built once per lint run from every parsed file, the index answers
+//! the cross-crate questions the per-file rules cannot: which struct
+//! fields are `Mutex`/`RwLock`-typed (lock-order), which enum defines
+//! the wire protocol and which consts carry its tags (protocol-drift),
+//! and which names are `Payload`-typed anywhere in a crate
+//! (zero-copy). It deliberately indexes *declarations* only — uses are
+//! the passes' job.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{walk_items, Item, ItemCtx, SourceFile, TypeStr};
+
+/// Which lock primitive a declaration wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `std::sync::Mutex` (or loom/parking-lot lookalikes by name).
+    Mutex,
+    /// `std::sync::RwLock`.
+    RwLock,
+}
+
+impl LockKind {
+    fn of(ty: &TypeStr) -> Option<LockKind> {
+        // A reference/`Arc`-wrapped lock still counts: `mentions`
+        // sees through the token soup.
+        if ty.mentions("Mutex") {
+            Some(LockKind::Mutex)
+        } else if ty.mentions("RwLock") {
+            Some(LockKind::RwLock)
+        } else {
+            None
+        }
+    }
+}
+
+/// A lock-typed declaration site.
+#[derive(Debug, Clone)]
+pub struct LockDecl {
+    /// Canonical lock id: `Type::field` for struct fields, the bare
+    /// name for statics.
+    pub id: String,
+    /// Which primitive.
+    pub kind: LockKind,
+    /// Declaring file (workspace-relative).
+    pub file: String,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// An enum definition.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Declaring file.
+    pub file: String,
+    /// Line of the `enum` keyword.
+    pub line: u32,
+    /// Variant names with their lines.
+    pub variants: Vec<(String, u32)>,
+}
+
+/// An integer const (e.g. a wire tag).
+#[derive(Debug, Clone)]
+pub struct IntConst {
+    /// The const's name.
+    pub name: String,
+    /// Its value, when the initializer was a single integer literal.
+    pub value: Option<u64>,
+    /// Declaring file.
+    pub file: String,
+    /// Declaration line.
+    pub line: u32,
+}
+
+/// The cross-file symbol index.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Enum name → definition. Last definition wins on duplicates
+    /// (fixtures shadowing the live `Msg` never share a run with it).
+    pub enums: BTreeMap<String, EnumDef>,
+    /// `field name` → lock declarations with that field name (used to
+    /// resolve `other.field.lock()` when the receiver's type is
+    /// unknown).
+    pub lock_fields: BTreeMap<String, Vec<LockDecl>>,
+    /// `Type::field` and static-name lock ids, for existence checks.
+    pub lock_ids: BTreeMap<String, LockDecl>,
+    /// Names (fields, enum-variant fields) declared with a
+    /// `Payload`-mentioning type, grouped by crate key (see
+    /// `crate::lib`'s `crate_of`); the zero-copy pass unions the
+    /// crate-local set with declared params/lets it walks itself.
+    pub payload_fields: BTreeMap<String, BTreeSet<String>>,
+    /// Integer consts, by name.
+    pub int_consts: BTreeMap<String, IntConst>,
+}
+
+impl WorkspaceIndex {
+    /// Builds the index over `(crate_key, rel_path, tree)` triples.
+    pub fn build(files: &[(String, String, &SourceFile)]) -> WorkspaceIndex {
+        let mut ix = WorkspaceIndex::default();
+        for (crate_key, rel, tree) in files {
+            walk_items(&tree.items, &ItemCtx::default(), &mut |ctx, item| {
+                if ctx.in_test_mod {
+                    return;
+                }
+                match item {
+                    Item::Struct(s) => {
+                        for f in &s.fields {
+                            if let Some(kind) = LockKind::of(&f.ty) {
+                                let decl = LockDecl {
+                                    id: format!("{}::{}", s.name, f.name),
+                                    kind,
+                                    file: rel.clone(),
+                                    line: f.line,
+                                };
+                                ix.lock_ids.insert(decl.id.clone(), decl.clone());
+                                ix.lock_fields.entry(f.name.clone()).or_default().push(decl);
+                            }
+                            if f.ty.mentions("Payload") {
+                                ix.payload_fields
+                                    .entry(crate_key.clone())
+                                    .or_default()
+                                    .insert(f.name.clone());
+                            }
+                        }
+                    }
+                    Item::Enum(e) => {
+                        ix.enums.insert(
+                            e.name.clone(),
+                            EnumDef {
+                                file: rel.clone(),
+                                line: e.line,
+                                variants: e
+                                    .variants
+                                    .iter()
+                                    .map(|v| (v.name.clone(), v.line))
+                                    .collect(),
+                            },
+                        );
+                        for v in &e.variants {
+                            for f in &v.fields {
+                                if f.ty.mentions("Payload") {
+                                    ix.payload_fields
+                                        .entry(crate_key.clone())
+                                        .or_default()
+                                        .insert(f.name.clone());
+                                }
+                            }
+                        }
+                    }
+                    Item::Const(c) => {
+                        if c.is_static {
+                            if let Some(kind) = LockKind::of(&c.ty) {
+                                let decl = LockDecl {
+                                    id: c.name.clone(),
+                                    kind,
+                                    file: rel.clone(),
+                                    line: c.line,
+                                };
+                                ix.lock_ids.insert(decl.id.clone(), decl);
+                            }
+                        }
+                        ix.int_consts.insert(
+                            c.name.clone(),
+                            IntConst {
+                                name: c.name.clone(),
+                                value: c.int_value,
+                                file: rel.clone(),
+                                line: c.line,
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+            });
+        }
+        ix
+    }
+
+    /// Payload-typed field names for a crate.
+    pub fn payload_fields_of(&self, crate_key: &str) -> Option<&BTreeSet<String>> {
+        self.payload_fields.get(crate_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse;
+
+    fn index_of(src: &str) -> WorkspaceIndex {
+        let tree = parse(&lex(src));
+        assert!(tree.errors.is_empty(), "{:?}", tree.errors);
+        let files = vec![(
+            "crates/x".to_string(),
+            "crates/x/src/lib.rs".to_string(),
+            &tree,
+        )];
+        WorkspaceIndex::build(&files)
+    }
+
+    #[test]
+    fn locks_enums_consts_payloads() {
+        let ix = index_of(
+            r#"
+            pub struct Hub {
+                conns: Mutex<Vec<Conn>>,
+                regions: std::sync::RwLock<Map>,
+                body: Payload,
+            }
+            pub enum Msg { Request { body: Payload }, Heartbeat }
+            pub const MSG_REQUEST: u8 = 0;
+            pub const MSG_HEARTBEAT: u8 = 1;
+            static REGISTRY: Mutex<u32> = Mutex::new(0);
+            #[cfg(test)]
+            mod tests {
+                struct Hidden { l: Mutex<u8> }
+            }
+            "#,
+        );
+        assert_eq!(ix.lock_ids["Hub::conns"].kind, LockKind::Mutex);
+        assert_eq!(ix.lock_ids["Hub::regions"].kind, LockKind::RwLock);
+        assert!(ix.lock_ids.contains_key("REGISTRY"));
+        assert!(!ix.lock_ids.contains_key("Hidden::l"), "test mods excluded");
+        assert_eq!(ix.enums["Msg"].variants.len(), 2);
+        assert_eq!(ix.int_consts["MSG_HEARTBEAT"].value, Some(1));
+        let pf = ix.payload_fields_of("crates/x").expect("payload fields");
+        assert!(pf.contains("body"));
+    }
+}

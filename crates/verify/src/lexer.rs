@@ -24,8 +24,10 @@ pub enum TokenKind {
     Ident(String),
     /// A single punctuation character (`::` arrives as two `:`).
     Punct(char),
-    /// A string, char, byte or numeric literal (contents dropped).
-    Literal,
+    /// A string, char, byte or numeric literal, with its raw source
+    /// text (the parser needs numeric values for tag consts and tuple
+    /// indices; rules never match on the text).
+    Literal(String),
     /// A lifetime such as `'a` (distinguished from char literals).
     Lifetime,
 }
@@ -49,6 +51,9 @@ pub struct Lexed {
     pub allows: BTreeMap<u32, BTreeSet<String>>,
     /// Rules allowed for the entire file.
     pub file_allows: BTreeSet<String>,
+    /// Every directive as written, for stale-suppression detection:
+    /// `(directive line, rule, file_wide)`.
+    pub directives: Vec<(u32, String, bool)>,
 }
 
 impl Lexed {
@@ -124,7 +129,7 @@ pub fn lex(src: &str) -> Lexed {
             bump_lines!(&src[i..i + len]);
             out.tokens.push(Token {
                 line,
-                kind: TokenKind::Literal,
+                kind: TokenKind::Literal(src[i..i + len].to_string()),
             });
             i += len;
             continue;
@@ -146,7 +151,7 @@ pub fn lex(src: &str) -> Lexed {
                 bump_lines!(&src[j..j + len]);
                 out.tokens.push(Token {
                     line,
-                    kind: TokenKind::Literal,
+                    kind: TokenKind::Literal(src[i..j + len].to_string()),
                 });
                 i = j + len;
                 continue;
@@ -175,7 +180,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             out.tokens.push(Token {
                 line,
-                kind: TokenKind::Literal,
+                kind: TokenKind::Literal(src[i..j].to_string()),
             });
             i = j;
             continue;
@@ -186,7 +191,7 @@ pub fn lex(src: &str) -> Lexed {
             bump_lines!(&src[i..i + len]);
             out.tokens.push(Token {
                 line,
-                kind: TokenKind::Literal,
+                kind: TokenKind::Literal(src[i..i + len].to_string()),
             });
             i += len;
             continue;
@@ -196,7 +201,7 @@ pub fn lex(src: &str) -> Lexed {
             if let Some(len) = char_literal_len(&src[i..]) {
                 out.tokens.push(Token {
                     line,
-                    kind: TokenKind::Literal,
+                    kind: TokenKind::Literal(src[i..i + len].to_string()),
                 });
                 i += len;
             } else {
@@ -230,11 +235,21 @@ pub fn lex(src: &str) -> Lexed {
 
 /// Records `ring-lint: allow(...)` / `allow-file(...)` directives found
 /// in a comment starting at `line`.
+///
+/// The marker must *begin* the comment's text (after the `//`/`/*`
+/// opener, doc `!`/`/`, and whitespace). A `ring-lint:` in the middle
+/// of a sentence is prose about the directive, not a directive — doc
+/// comments describing suppression syntax must not themselves
+/// suppress, and must not trip the stale-directive checker.
 fn record_directive(out: &mut Lexed, comment: &str, line: u32) {
-    let Some(pos) = comment.find("ring-lint:") else {
+    let text = comment
+        .trim_start_matches(['/', '*'])
+        .trim_start_matches(['!', '/'])
+        .trim_start();
+    let Some(rest) = text.strip_prefix("ring-lint:") else {
         return;
     };
-    let rest = comment[pos + "ring-lint:".len()..].trim_start();
+    let rest = rest.trim_start();
     let (file_wide, args) = if let Some(r) = rest.strip_prefix("allow-file(") {
         (true, r)
     } else if let Some(r) = rest.strip_prefix("allow(") {
@@ -250,6 +265,7 @@ fn record_directive(out: &mut Lexed, comment: &str, line: u32) {
         if rule.is_empty() {
             continue;
         }
+        out.directives.push((line, rule.clone(), file_wide));
         if file_wide {
             out.file_allows.insert(rule);
         } else {
@@ -314,8 +330,11 @@ fn char_literal_len(s: &str) -> Option<usize> {
         return None;
     }
     if b[1] == b'\\' {
-        // Escaped char: scan to the closing quote.
-        let mut j = 2;
+        // Escaped char: scan to the closing quote. Starting at the
+        // backslash itself makes the first escape consume its target
+        // as a pair — `'\\'` must not read its escaped backslash as a
+        // fresh escape and jump the closing quote.
+        let mut j = 1;
         while j < b.len() {
             match b[j] {
                 b'\\' => j += 2,
@@ -380,7 +399,7 @@ mod tests {
         let literals = lexed
             .tokens
             .iter()
-            .filter(|t| t.kind == TokenKind::Literal)
+            .filter(|t| matches!(t.kind, TokenKind::Literal(_)))
             .count();
         assert_eq!(lifetimes, 2);
         assert_eq!(literals, 1);

@@ -21,13 +21,81 @@
 //! on the offending line or the line above, or file-wide with
 //! `// ring-lint: allow-file(<rule>)`.
 
+pub mod ast;
+pub mod index;
 pub mod lexer;
+pub mod parse;
+pub mod passes;
 pub mod rules;
+pub mod tree_rules;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 pub use rules::Diagnostic;
+
+/// Which rule engine a run uses.
+///
+/// The tree engine is the default: it hosts every legacy rule (see
+/// [`tree_rules`]) plus the semantic passes that need real structure
+/// (lock-order, protocol-drift, payload-copy). The token engine is the
+/// legacy fallback, kept for parity testing — CI diffs the two over
+/// the live workspace on the shared rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Parse-tree rules (default).
+    #[default]
+    Tree,
+    /// Legacy token-scan rules (`ring-lint --token`).
+    Token,
+}
+
+/// Why a lint run failed before producing a verdict. Maps to exit
+/// code 2 in the binary: these are tool failures, not findings.
+#[derive(Debug)]
+pub enum LintError {
+    /// A source file or config file could not be read.
+    Io(std::io::Error),
+    /// Files the parser could not structurally parse, as
+    /// `file:line: message` strings. The workspace golden test keeps
+    /// the live tree parseable, so hitting this means either a broken
+    /// input file or a parser bug.
+    Parse(Vec<String>),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(e) => write!(f, "{e}"),
+            LintError::Parse(fails) => {
+                write!(f, "{} file(s) failed to parse:", fails.len())?;
+                for fail in fails {
+                    write!(f, "\n  {fail}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<std::io::Error> for LintError {
+    fn from(e: std::io::Error) -> Self {
+        LintError::Io(e)
+    }
+}
+
+/// The result of a lint run: findings plus non-fatal hygiene warnings
+/// (stale suppressions). Warnings never affect the exit code — they
+/// are the linter linting its own suppression surface.
+#[derive(Debug)]
+pub struct LintOutcome {
+    /// Sorted findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Stale-suppression warnings, human-readable, sorted.
+    pub warnings: Vec<String>,
+}
 
 /// Default workspace-relative location of the relaxed-ordering
 /// allowlist.
@@ -48,6 +116,8 @@ pub struct Workspace {
     tla_actions: BTreeSet<String>,
     /// Override: treat all files as deterministic-path (fixture mode).
     force_deterministic: Option<bool>,
+    /// Which rule engine to run.
+    mode: Mode,
 }
 
 impl Workspace {
@@ -90,6 +160,7 @@ impl Workspace {
             relaxed_allowlist,
             tla_actions,
             force_deterministic: None,
+            mode: Mode::default(),
         })
     }
 
@@ -107,7 +178,14 @@ impl Workspace {
             relaxed_allowlist: allowlist,
             tla_actions: BTreeSet::new(),
             force_deterministic: Some(deterministic),
+            mode: Mode::default(),
         }
+    }
+
+    /// Selects the rule engine (defaults to [`Mode::Tree`]).
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Supplies TLA+ definition names for the model-drift rule
@@ -126,9 +204,17 @@ impl Workspace {
 
     /// Runs every rule over every file. Diagnostics come back sorted by
     /// (file, line, rule).
-    pub fn lint(&self) -> std::io::Result<Vec<Diagnostic>> {
+    pub fn lint(&self) -> Result<Vec<Diagnostic>, LintError> {
+        Ok(self.run()?.diagnostics)
+    }
+
+    /// Runs every rule over every file, also returning stale-suppression
+    /// warnings. Diagnostics come back sorted by (file, line, rule).
+    pub fn run(&self) -> Result<LintOutcome, LintError> {
         // Pass 1: lex everything once, collecting hash-typed names per
         // crate so `self.field` iteration is caught across modules.
+        // (Both engines share the token-derived name set — it is part
+        // of the rule's contract, not an engine detail.)
         let mut lexed_files = Vec::with_capacity(self.files.len());
         for rel in &self.files {
             let src = std::fs::read_to_string(self.root.join(rel))?;
@@ -144,10 +230,54 @@ impl Workspace {
                 .extend(rules::collect_hash_names(lexed));
         }
 
-        // Pass 2: run the rules.
+        // Pass 1b (tree engine): parse every file. Structural parse
+        // errors abort the run — a file the tree rules cannot see is a
+        // false "clean", never a finding.
+        let trees: Vec<Option<ast::SourceFile>> = match self.mode {
+            Mode::Token => lexed_files.iter().map(|_| None).collect(),
+            Mode::Tree => {
+                let mut parse_failures = Vec::new();
+                let trees = lexed_files
+                    .iter()
+                    .map(|(rel, _, lexed)| {
+                        let tree = parse::parse(lexed);
+                        for e in &tree.errors {
+                            parse_failures.push(format!("{rel}:{}: {}", e.line, e.msg));
+                        }
+                        Some(tree)
+                    })
+                    .collect();
+                if !parse_failures.is_empty() {
+                    return Err(LintError::Parse(parse_failures));
+                }
+                trees
+            }
+        };
+        let index = match self.mode {
+            Mode::Token => None,
+            Mode::Tree => {
+                let triples: Vec<(String, String, &ast::SourceFile)> = lexed_files
+                    .iter()
+                    .zip(&trees)
+                    .map(|((rel, _, _), tree)| {
+                        (
+                            crate_of(rel),
+                            rel.clone(),
+                            tree.as_ref().expect("tree mode"),
+                        )
+                    })
+                    .collect();
+                Some(index::WorkspaceIndex::build(&triples))
+            }
+        };
+
+        // Pass 2: run the rules, recording suppressed hits per file
+        // for the stale-suppression check.
         let mut out = Vec::new();
+        let mut warnings = Vec::new();
+        let mut sups: Vec<Vec<rules::SuppressedHit>> = vec![Vec::new(); lexed_files.len()];
         let empty = BTreeSet::new();
-        for (rel, src, lexed) in &lexed_files {
+        for (idx, (rel, src, lexed)) in lexed_files.iter().enumerate() {
             let deterministic = self
                 .force_deterministic
                 .unwrap_or_else(|| rules::is_deterministic_path(rel));
@@ -167,15 +297,109 @@ impl Workspace {
                 hash_names: crate_hash_names.get(&crate_of(rel)).unwrap_or(&empty),
                 tla_actions: &self.tla_actions,
             };
-            out.extend(rules::lint_file(&ctx));
+            let sup = &mut sups[idx];
+            match self.mode {
+                Mode::Token => out.extend(rules::lint_file_recording(&ctx, sup)),
+                Mode::Tree => {
+                    let tree = trees[idx].as_ref().expect("tree mode");
+                    out.extend(tree_rules::lint_file_tree(&ctx, tree, sup));
+                }
+            }
+        }
+
+        // Pass 3 (tree engine): the workspace-level semantic passes —
+        // they reason across files, so they run over the whole set.
+        if let Some(ix) = &index {
+            let pass_files: Vec<passes::PassFile<'_>> = lexed_files
+                .iter()
+                .zip(&trees)
+                .map(|((rel, _, lexed), tree)| passes::PassFile {
+                    rel,
+                    lexed,
+                    tree: tree.as_ref().expect("tree mode"),
+                })
+                .collect();
+            out.extend(passes::run_passes(
+                &pass_files,
+                ix,
+                self.force_deterministic.is_some(),
+                &mut sups,
+            ));
+        }
+
+        let mut files_with_relaxed_sup: BTreeSet<String> = BTreeSet::new();
+        for ((rel, _, lexed), sup) in lexed_files.iter().zip(&sups) {
+            if sup.iter().any(|&(_, r)| r == rules::RELAXED_ORDERING) {
+                files_with_relaxed_sup.insert(rel.clone());
+            }
+            stale_directive_warnings(rel, lexed, sup, self.mode, &mut warnings);
+        }
+        for entry in &self.relaxed_allowlist {
+            if !self.files.contains(entry) {
+                warnings.push(format!(
+                    "{RELAXED_ALLOWLIST}: stale entry `{entry}` — file is not in the lint set"
+                ));
+            } else if !files_with_relaxed_sup.contains(entry) {
+                warnings.push(format!(
+                    "{RELAXED_ALLOWLIST}: stale entry `{entry}` — no `Ordering::Relaxed` \
+                     sites remain in the file"
+                ));
+            }
         }
         out.sort();
-        Ok(out)
+        warnings.sort();
+        Ok(LintOutcome {
+            diagnostics: out,
+            warnings,
+        })
+    }
+}
+
+/// Appends a warning for every `// ring-lint: allow(...)` /
+/// `allow-file(...)` directive in `lexed` that suppressed nothing this
+/// run. A per-line directive is live when a suppressed hit of its rule
+/// landed on its own line or the line below (its coverage span); a
+/// file-wide directive is live when any hit of its rule was suppressed
+/// anywhere in the file.
+///
+/// Directives for rules the active engine does not run are skipped:
+/// the token engine never runs the workspace passes, so a
+/// `payload-copy` allow is not stale under `--token` — just out of
+/// that engine's jurisdiction. Unknown rule names are skipped too
+/// (lexer fixtures and doc examples use placeholder names).
+fn stale_directive_warnings(
+    rel: &str,
+    lexed: &lexer::Lexed,
+    sup: &[rules::SuppressedHit],
+    mode: Mode,
+    warnings: &mut Vec<String>,
+) {
+    for (line, rule, file_wide) in &lexed.directives {
+        let known = rules::ALL_RULES.contains(&rule.as_str());
+        let tree_only = matches!(
+            rule.as_str(),
+            rules::LOCK_ORDER | rules::PROTOCOL_DRIFT | rules::PAYLOAD_COPY
+        );
+        if !known || (mode == Mode::Token && tree_only) {
+            continue;
+        }
+        let live = if *file_wide {
+            sup.iter().any(|(_, r)| r == rule)
+        } else {
+            sup.iter()
+                .any(|(l, r)| r == rule && (*l == *line || *l == *line + 1))
+        };
+        if !live {
+            let form = if *file_wide { "allow-file" } else { "allow" };
+            warnings.push(format!(
+                "{rel}:{line}: stale `ring-lint: {form}({rule})` — it suppresses nothing"
+            ));
+        }
     }
 }
 
 /// Crate key for grouping files (`crates/net/src/x.rs` → `crates/net`).
-fn crate_of(rel: &str) -> String {
+pub(crate) fn crate_of(rel: &str) -> String {
     let mut parts = rel.split('/');
     match (parts.next(), parts.next()) {
         (Some("crates"), Some(name)) => format!("crates/{name}"),

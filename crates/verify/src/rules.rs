@@ -23,15 +23,28 @@ pub const HASHMAP_ITERATION: &str = "hashmap-iteration";
 /// Rule id: shared protocol step without a `// tla:` marker tying it to
 /// an action of the TLA+ spec (or naming an action that does not exist).
 pub const MODEL_DRIFT: &str = "model-drift";
+/// Rule id (tree engine only): a cycle in the cross-crate
+/// lock-acquisition graph.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Rule id (tree engine only): the `Msg` enum, the wire tag consts,
+/// and the transport/engine `match`es disagree about the protocol.
+pub const PROTOCOL_DRIFT: &str = "protocol-drift";
+/// Rule id (tree engine only): a deep copy of a zero-copy `Payload`
+/// on a hot path.
+pub const PAYLOAD_COPY: &str = "payload-copy";
 
-/// All rule ids, in reporting order.
-pub const ALL_RULES: [&str; 6] = [
+/// All rule ids, in reporting order. The last three run only under the
+/// tree engine ([`crate::Mode::Tree`]).
+pub const ALL_RULES: [&str; 9] = [
     AMBIENT_TIME,
     AMBIENT_ENTROPY,
     GUARD_ACROSS_SEND,
     RELAXED_ORDERING,
     HASHMAP_ITERATION,
     MODEL_DRIFT,
+    LOCK_ORDER,
+    PROTOCOL_DRIFT,
+    PAYLOAD_COPY,
 ];
 
 /// One lint finding.
@@ -195,7 +208,7 @@ pub fn test_mod_spans(lexed: &Lexed) -> Vec<(u32, u32)> {
     spans
 }
 
-fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
+pub(crate) fn in_spans(spans: &[(u32, u32)], line: u32) -> bool {
     spans.iter().any(|&(a, b)| a <= line && line <= b)
 }
 
@@ -219,20 +232,30 @@ fn path_call(lexed: &Lexed, i: usize, first: &str, second: &str) -> bool {
         && punct_at(lexed, i + 4, '(')
 }
 
+/// A finding that a suppression mechanism swallowed: `(line, rule)`.
+/// The stale-suppression checker uses these to tell live directives
+/// and allowlist entries from dead ones.
+pub type SuppressedHit = (u32, &'static str);
+
 /// Runs every applicable rule over one file.
 pub fn lint_file(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    lint_file_recording(ctx, &mut Vec::new())
+}
+
+/// [`lint_file`], also recording suppressed findings into `sup`.
+pub fn lint_file_recording(ctx: &FileContext<'_>, sup: &mut Vec<SuppressedHit>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let spans = test_mod_spans(ctx.lexed);
     if ctx.deterministic {
-        ambient_time(ctx, &spans, &mut out);
-        ambient_entropy(ctx, &spans, &mut out);
-        hashmap_iteration(ctx, &spans, &mut out);
+        ambient_time(ctx, &spans, &mut out, sup);
+        ambient_entropy(ctx, &spans, &mut out, sup);
+        hashmap_iteration(ctx, &spans, &mut out, sup);
     }
     if ctx.model_mirror && !ctx.tla_actions.is_empty() {
-        model_drift(ctx, &spans, &mut out);
+        model_drift(ctx, &spans, &mut out, sup);
     }
-    guard_across_send(ctx, &spans, &mut out);
-    relaxed_ordering(ctx, &spans, &mut out);
+    guard_across_send(ctx, &spans, &mut out, sup);
+    relaxed_ordering(ctx, &spans, &mut out, sup);
     out.sort();
     out
 }
@@ -240,7 +263,12 @@ pub fn lint_file(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
 /// `ambient-time`: `Instant::now()` / `SystemTime::now()` in a
 /// deterministic path. The clock must come from `ring_net::clock` (the
 /// fabric clock) so there is exactly one audited source of time.
-fn ambient_time(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+fn ambient_time(
+    ctx: &FileContext<'_>,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
     for i in 0..ctx.lexed.tokens.len() {
         for (ty, hint) in [
             ("Instant", "use ring_net::clock::now() instead"),
@@ -251,7 +279,11 @@ fn ambient_time(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagn
         ] {
             if path_call(ctx.lexed, i, ty, "now") {
                 let line = ctx.lexed.tokens[i].line;
-                if in_spans(spans, line) || ctx.lexed.allowed(AMBIENT_TIME, line) {
+                if in_spans(spans, line) {
+                    continue;
+                }
+                if ctx.lexed.allowed(AMBIENT_TIME, line) {
+                    sup.push((line, AMBIENT_TIME));
                     continue;
                 }
                 out.push(Diagnostic {
@@ -268,7 +300,12 @@ fn ambient_time(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagn
 /// `ambient-entropy`: OS randomness in a deterministic path. All
 /// randomness must be a pure function of `ClusterSpec::seed` (via
 /// `derived_seed`) so a printed `u64` replays the run.
-fn ambient_entropy(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+fn ambient_entropy(
+    ctx: &FileContext<'_>,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
     const FORBIDDEN: [&str; 4] = ["thread_rng", "OsRng", "from_entropy", "getrandom"];
     for (i, tok) in ctx.lexed.tokens.iter().enumerate() {
         let TokenKind::Ident(name) = &tok.kind else {
@@ -287,7 +324,11 @@ fn ambient_entropy(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Di
             continue;
         }
         let line = tok.line;
-        if in_spans(spans, line) || ctx.lexed.allowed(AMBIENT_ENTROPY, line) {
+        if in_spans(spans, line) {
+            continue;
+        }
+        if ctx.lexed.allowed(AMBIENT_ENTROPY, line) {
+            sup.push((line, AMBIENT_ENTROPY));
             continue;
         }
         out.push(Diagnostic {
@@ -312,7 +353,12 @@ fn ambient_entropy(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Di
 /// arguments, optionally followed by `.unwrap()` / `.expect(..)`)
 /// starts a guard live-range that ends at `drop(g)`, at a shadowing
 /// re-`let`, or when its block closes.
-fn guard_across_send(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+fn guard_across_send(
+    ctx: &FileContext<'_>,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
     const SENDS: [&str; 3] = ["send", "multicast", "post"];
     struct Guard {
         name: String,
@@ -354,6 +400,9 @@ fn guard_across_send(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<
                     i >= 1 && punct_at(ctx.lexed, i - 1, '.') && punct_at(ctx.lexed, i + 1, '(');
                 if method_call && !guards.is_empty() {
                     let line = t[i].line;
+                    if !in_spans(spans, line) && ctx.lexed.allowed(GUARD_ACROSS_SEND, line) {
+                        sup.push((line, GUARD_ACROSS_SEND));
+                    }
                     if !in_spans(spans, line) && !ctx.lexed.allowed(GUARD_ACROSS_SEND, line) {
                         let g = guards.last().expect("non-empty");
                         out.push(Diagnostic {
@@ -423,7 +472,10 @@ fn guard_binding(lexed: &Lexed, i: usize) -> Option<(String, usize)> {
         }
         if end >= 5
             && punct_at(lexed, end - 1, ')')
-            && matches!(t.get(end - 2).map(|tk| &tk.kind), Some(TokenKind::Literal))
+            && matches!(
+                t.get(end - 2).map(|tk| &tk.kind),
+                Some(TokenKind::Literal(_))
+            )
             && punct_at(lexed, end - 3, '(')
             && punct_at(lexed, end - 5, '.')
             && ident_at(lexed, end - 4) == Some("expect")
@@ -450,10 +502,12 @@ fn guard_binding(lexed: &Lexed, i: usize) -> Option<(String, usize)> {
 /// site is safe. Relaxed is correct for monotonic counters and advisory
 /// mirrors; it is never correct for publish/observe pairs, and the
 /// allowlist is where that argument has to be written down.
-fn relaxed_ordering(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
-    if ctx.relaxed_allowlisted {
-        return;
-    }
+fn relaxed_ordering(
+    ctx: &FileContext<'_>,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
     for i in 0..ctx.lexed.tokens.len() {
         let is_relaxed = ident_at(ctx.lexed, i + 3) == Some("Relaxed")
             && punct_at(ctx.lexed, i + 1, ':')
@@ -463,7 +517,11 @@ fn relaxed_ordering(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<D
             continue;
         }
         let line = ctx.lexed.tokens[i].line;
-        if in_spans(spans, line) || ctx.lexed.allowed(RELAXED_ORDERING, line) {
+        if in_spans(spans, line) {
+            continue;
+        }
+        if ctx.relaxed_allowlisted || ctx.lexed.allowed(RELAXED_ORDERING, line) {
+            sup.push((line, RELAXED_ORDERING));
             continue;
         }
         out.push(Diagnostic {
@@ -561,7 +619,12 @@ pub fn collect_hash_names(lexed: &Lexed) -> BTreeSet<String> {
 /// feeds — retransmit order, recovery order, checker verdict text —
 /// diverges between runs with the same seed. Use `BTreeMap`/`BTreeSet`
 /// or sort before iterating.
-fn hashmap_iteration(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+fn hashmap_iteration(
+    ctx: &FileContext<'_>,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
     const ITERS: [&str; 9] = [
         "iter",
         "iter_mut",
@@ -601,7 +664,11 @@ fn hashmap_iteration(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<
             continue;
         }
         let line = tok.line;
-        if in_spans(spans, line) || ctx.lexed.allowed(HASHMAP_ITERATION, line) {
+        if in_spans(spans, line) {
+            continue;
+        }
+        if ctx.lexed.allowed(HASHMAP_ITERATION, line) {
+            sup.push((line, HASHMAP_ITERATION));
             continue;
         }
         let how = method
@@ -627,7 +694,12 @@ fn hashmap_iteration(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<
 /// markers are the audited map between them and the spec, so a renamed
 /// or deleted spec action — or an unmarked new transition — fails the
 /// lint instead of silently diverging.
-fn model_drift(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagnostic>) {
+pub(crate) fn model_drift(
+    ctx: &FileContext<'_>,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
     let lines: Vec<&str> = ctx.raw.lines().collect();
     for (idx, line) in lines.iter().enumerate() {
         let trimmed = line.trim_start();
@@ -646,7 +718,11 @@ fn model_drift(ctx: &FileContext<'_>, spans: &[(u32, u32)], out: &mut Vec<Diagno
             .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
             .collect();
         let line_no = (idx + 1) as u32;
-        if in_spans(spans, line_no) || ctx.lexed.allowed(MODEL_DRIFT, line_no) {
+        if in_spans(spans, line_no) {
+            continue;
+        }
+        if ctx.lexed.allowed(MODEL_DRIFT, line_no) {
+            sup.push((line_no, MODEL_DRIFT));
             continue;
         }
         // Walk the contiguous comment/attribute block directly above

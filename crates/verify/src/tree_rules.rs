@@ -1,0 +1,770 @@
+//! The legacy lint rules, re-hosted on the parse tree.
+//!
+//! Each function here is the tree-mode twin of a token rule in
+//! [`crate::rules`] and must stay diagnostic-for-diagnostic identical
+//! to it on well-formed code — CI runs both engines over the live
+//! workspace and diffs the output (`--token` selects the fallback
+//! engine). The one *deliberate* divergence is `guard-across-send`:
+//! the token engine approximates guard liveness with brace depth,
+//! while [`guard_across_send`] here runs a real dataflow over block
+//! scopes and understands moves (`let moved = g;` transfers the
+//! guard, `let _ = g;` drops it), so a guard moved into an inner
+//! block no longer false-positives after the block closes. The
+//! regression fixture in `tests/lint_fixtures.rs` pins that down.
+
+use crate::ast::{
+    walk_items, Block, Expr, Item, ItemCtx, LetStmt, PathExpr, SourceFile, Stmt, UseItem,
+};
+use crate::rules::{
+    in_spans, model_drift, Diagnostic, FileContext, SuppressedHit, AMBIENT_ENTROPY, AMBIENT_TIME,
+    GUARD_ACROSS_SEND, HASHMAP_ITERATION, RELAXED_ORDERING,
+};
+
+/// Runs every applicable tree-mode rule over one file, recording
+/// suppressed findings into `sup`. Mirrors
+/// [`crate::rules::lint_file_recording`] rule-for-rule.
+pub fn lint_file_tree(
+    ctx: &FileContext<'_>,
+    tree: &SourceFile,
+    sup: &mut Vec<SuppressedHit>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let spans = tree_test_spans(tree);
+    if ctx.deterministic {
+        ambient_time(ctx, tree, &spans, &mut out, sup);
+        ambient_entropy(ctx, tree, &spans, &mut out, sup);
+        hashmap_iteration(ctx, tree, &spans, &mut out, sup);
+    }
+    if ctx.model_mirror && !ctx.tla_actions.is_empty() {
+        // Markers live in comments, which the tree cannot represent;
+        // the raw-text implementation is shared, with tree-derived
+        // test-mod spans.
+        model_drift(ctx, &spans, &mut out, sup);
+    }
+    guard_across_send(ctx, tree, &spans, &mut out, sup);
+    relaxed_ordering(ctx, tree, &spans, &mut out, sup);
+    out.sort();
+    out
+}
+
+/// Line spans of `#[cfg(test)] mod` blocks, from the tree.
+pub fn tree_test_spans(tree: &SourceFile) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    walk_items(&tree.items, &ItemCtx::default(), &mut |_ctx, item| {
+        if let Item::Mod(m) = item {
+            if m.cfg_test {
+                spans.push((m.start_line, m.end_line));
+            }
+        }
+    });
+    spans
+}
+
+/// Calls `f` on every expression in the file: function bodies and
+/// const/static initializers, at any nesting depth (impls, traits,
+/// mods, nested fns).
+fn for_each_expr<'a>(tree: &'a SourceFile, f: &mut impl FnMut(&'a Expr)) {
+    walk_items(
+        &tree.items,
+        &ItemCtx::default(),
+        &mut |_ctx, item| match item {
+            Item::Fn(fun) => {
+                if let Some(body) = &fun.body {
+                    crate::ast::walk_block_exprs(body, f);
+                }
+            }
+            Item::Const(c) => {
+                if let Some(v) = &c.value {
+                    crate::ast::walk_exprs(v, f);
+                }
+            }
+            _ => {}
+        },
+    );
+}
+
+/// Calls `f` on every `use` item in the file.
+fn for_each_use<'a>(tree: &'a SourceFile, f: &mut impl FnMut(&'a UseItem)) {
+    walk_items(&tree.items, &ItemCtx::default(), &mut |_ctx, item| {
+        if let Item::Use(u) = item {
+            f(u);
+        }
+    });
+}
+
+/// `ambient-time`, tree-hosted: a call whose callee path ends in
+/// `Instant::now` / `SystemTime::now`.
+fn ambient_time(
+    ctx: &FileContext<'_>,
+    tree: &SourceFile,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
+    for_each_expr(tree, &mut |e| {
+        let Expr::Call { callee, .. } = e else {
+            return;
+        };
+        let Expr::Path(p) = callee.as_ref() else {
+            return;
+        };
+        if p.segs.len() < 2 {
+            return;
+        }
+        let (ty, line) = {
+            let pair = &p.segs[p.segs.len() - 2..];
+            if pair[1].0 != "now" {
+                return;
+            }
+            (pair[0].0.as_str(), pair[0].1)
+        };
+        let hint = match ty {
+            "Instant" => "use ring_net::clock::now() instead",
+            "SystemTime" => {
+                "wall-clock time has no deterministic consumer; derive from the fabric clock"
+            }
+            _ => return,
+        };
+        if in_spans(spans, line) {
+            return;
+        }
+        if ctx.lexed.allowed(AMBIENT_TIME, line) {
+            sup.push((line, AMBIENT_TIME));
+            return;
+        }
+        out.push(Diagnostic {
+            file: ctx.rel_path.to_string(),
+            line,
+            rule: AMBIENT_TIME,
+            message: format!("ambient `{ty}::now()` in a deterministic sim path; {hint}"),
+        });
+    });
+}
+
+const FORBIDDEN_ENTROPY: [&str; 4] = ["thread_rng", "OsRng", "from_entropy", "getrandom"];
+
+/// `ambient-entropy`, tree-hosted: forbidden names in call or path
+/// position — multi-segment paths anywhere, single names only as a
+/// direct callee or method, `use` segments only when `::`-adjacent.
+fn ambient_entropy(
+    ctx: &FileContext<'_>,
+    tree: &SourceFile,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
+    let mut hit =
+        |name: &str, line: u32, out: &mut Vec<Diagnostic>, sup: &mut Vec<SuppressedHit>| {
+            if in_spans(spans, line) {
+                return;
+            }
+            if ctx.lexed.allowed(AMBIENT_ENTROPY, line) {
+                sup.push((line, AMBIENT_ENTROPY));
+                return;
+            }
+            out.push(Diagnostic {
+                file: ctx.rel_path.to_string(),
+                line,
+                rule: AMBIENT_ENTROPY,
+                message: format!(
+                    "ambient entropy source `{name}` in a deterministic sim path; \
+                 seed RNGs from ClusterSpec::derived_seed"
+                ),
+            });
+        };
+    type Hit<'h> = &'h mut dyn FnMut(&str, u32, &mut Vec<Diagnostic>, &mut Vec<SuppressedHit>);
+    let multi_seg =
+        |p: &PathExpr, out: &mut Vec<Diagnostic>, sup: &mut Vec<SuppressedHit>, hit: Hit<'_>| {
+            if p.segs.len() < 2 {
+                return;
+            }
+            for (name, line) in &p.segs {
+                if FORBIDDEN_ENTROPY.contains(&name.as_str()) {
+                    hit(name, *line, out, sup);
+                }
+            }
+        };
+    for_each_expr(tree, &mut |e| match e {
+        // `rand::thread_rng()` / `rand::rngs::OsRng` anywhere: every
+        // segment of a multi-segment path is `::`-adjacent.
+        Expr::Path(p) => multi_seg(p, out, sup, &mut hit),
+        Expr::StructLit { path, .. } | Expr::MacroCall { path, .. } => {
+            multi_seg(path, out, sup, &mut hit)
+        }
+        // Bare `thread_rng()` — a single name is only call-like as a
+        // direct callee (the multi-segment case fired on the path).
+        Expr::Call { callee, .. } => {
+            if let Expr::Path(p) = callee.as_ref() {
+                if p.segs.len() == 1 && FORBIDDEN_ENTROPY.contains(&p.segs[0].0.as_str()) {
+                    hit(&p.segs[0].0, p.segs[0].1, out, sup)
+                }
+            }
+        }
+        // `.from_entropy()`.
+        Expr::MethodCall { method, line, .. } if FORBIDDEN_ENTROPY.contains(&method.as_str()) => {
+            hit(method, *line, out, sup);
+        }
+        // `Msg::OsRng => …` (path position inside a pattern).
+        Expr::Match(m) => {
+            for arm in &m.arms {
+                for pat in &arm.pats {
+                    if pat.path.len() >= 2 {
+                        for name in &pat.path {
+                            if FORBIDDEN_ENTROPY.contains(&name.as_str()) {
+                                hit(name, pat.line, out, sup);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        _ => {}
+    });
+    for_each_use(tree, &mut |u| {
+        for seg in &u.segs {
+            if seg.colon_adjacent && FORBIDDEN_ENTROPY.contains(&seg.name.as_str()) {
+                hit(&seg.name, seg.line, out, sup);
+            }
+        }
+    });
+}
+
+/// `relaxed-ordering`, tree-hosted: a `Ordering::Relaxed` /
+/// `AtomicOrdering::Relaxed` segment pair in any expression, pattern,
+/// or `use` path.
+fn relaxed_ordering(
+    ctx: &FileContext<'_>,
+    tree: &SourceFile,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
+    let hit = |line: u32, out: &mut Vec<Diagnostic>, sup: &mut Vec<SuppressedHit>| {
+        if in_spans(spans, line) {
+            return;
+        }
+        if ctx.relaxed_allowlisted || ctx.lexed.allowed(RELAXED_ORDERING, line) {
+            sup.push((line, RELAXED_ORDERING));
+            return;
+        }
+        out.push(Diagnostic {
+            file: ctx.rel_path.to_string(),
+            line,
+            rule: RELAXED_ORDERING,
+            message: "`Ordering::Relaxed` outside the allowlist; add the file to \
+                      crates/verify/relaxed_allowlist.txt with a per-site justification \
+                      or use Acquire/Release"
+                .to_string(),
+        });
+    };
+    let pair_line = |p: &PathExpr| -> Option<u32> {
+        p.segs.windows(2).find_map(|w| {
+            (matches!(w[0].0.as_str(), "Ordering" | "AtomicOrdering") && w[1].0 == "Relaxed")
+                .then_some(w[0].1)
+        })
+    };
+    for_each_expr(tree, &mut |e| match e {
+        Expr::Path(p) => {
+            if let Some(line) = pair_line(p) {
+                hit(line, out, sup);
+            }
+        }
+        Expr::StructLit { path, .. } | Expr::MacroCall { path, .. } => {
+            if let Some(line) = pair_line(path) {
+                hit(line, out, sup);
+            }
+        }
+        Expr::Match(m) => {
+            for arm in &m.arms {
+                for pat in &arm.pats {
+                    let relaxed_pair = pat.path.windows(2).any(|w| {
+                        matches!(w[0].as_str(), "Ordering" | "AtomicOrdering") && w[1] == "Relaxed"
+                    });
+                    if relaxed_pair {
+                        hit(pat.line, out, sup);
+                    }
+                }
+            }
+        }
+        _ => {}
+    });
+    for_each_use(tree, &mut |u| {
+        for w in u.segs.windows(2) {
+            if matches!(w[0].name.as_str(), "Ordering" | "AtomicOrdering")
+                && w[1].name == "Relaxed"
+                && w[1].colon_adjacent
+            {
+                hit(w[0].line, out, sup);
+            }
+        }
+    });
+}
+
+/// `hashmap-iteration`, tree-hosted: an `ITERS` method whose receiver's
+/// terminal name is hash-typed, or a `for` loop directly over one.
+fn hashmap_iteration(
+    ctx: &FileContext<'_>,
+    tree: &SourceFile,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
+    const ITERS: [&str; 9] = [
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+        "retain",
+        "into_keys",
+        "into_values",
+    ];
+    let hit = |name: &str,
+               how: String,
+               line: u32,
+               out: &mut Vec<Diagnostic>,
+               sup: &mut Vec<SuppressedHit>| {
+        if in_spans(spans, line) {
+            return;
+        }
+        if ctx.lexed.allowed(HASHMAP_ITERATION, line) {
+            sup.push((line, HASHMAP_ITERATION));
+            return;
+        }
+        out.push(Diagnostic {
+            file: ctx.rel_path.to_string(),
+            line,
+            rule: HASHMAP_ITERATION,
+            message: format!(
+                "iteration over hash-ordered `{name}` via {how} in a seeded path; \
+                 hash order is process-random — use BTreeMap/BTreeSet or sort first"
+            ),
+        });
+    };
+    for_each_expr(tree, &mut |e| match e {
+        Expr::MethodCall { recv, method, .. } if ITERS.contains(&method.as_str()) => {
+            // The diagnostic anchors on the *receiver name's* line, as
+            // the token engine does (`name.iter()` reports `name`).
+            let terminal = match recv.as_ref() {
+                Expr::Path(p) => p.segs.last().map(|(n, l)| (n.as_str(), *l)),
+                Expr::Field { name, line, .. } => Some((name.as_str(), *line)),
+                _ => None,
+            };
+            if let Some((name, line)) = terminal {
+                if ctx.hash_names.contains(name) {
+                    hit(name, format!("`.{method}()`"), line, out, sup);
+                }
+            }
+        }
+        Expr::For { iter, .. } => {
+            // `for x in [&[mut]] name { … }` — a bare name only; field
+            // receivers don't fire here (nor in the token engine).
+            let mut it: &Expr = iter;
+            if let Expr::Ref { inner, .. } = it {
+                it = inner;
+            }
+            if let Expr::Path(p) = it {
+                if p.segs.len() == 1 && ctx.hash_names.contains(&p.segs[0].0) {
+                    hit(&p.segs[0].0, "a `for` loop".into(), p.segs[0].1, out, sup);
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+/// A live lock guard during the [`guard_across_send`] dataflow.
+struct LiveGuard {
+    name: String,
+    /// Line of the binding `let` (reported in the diagnostic).
+    line: u32,
+    /// Block-nesting depth that owns the binding; the guard dies when
+    /// that scope closes.
+    scope: u32,
+}
+
+/// `guard-across-send`, tree-hosted as a real guard-liveness dataflow.
+///
+/// A guard becomes live at `let g = <expr>.lock()/.read()/.write()`
+/// (zero-arg, optionally `.unwrap()` / `.expect("…")`), and dies when
+///
+/// - its block scope closes (match arms, closures, and inner blocks
+///   are all real scopes here — no brace-counting),
+/// - `drop(g)` runs,
+/// - it is shadowed by a re-`let` of the same name,
+/// - it is *moved*: `let other = g;` transfers liveness to `other`
+///   (scoped to the block the move occurs in) and `let _ = g;` drops
+///   it on the spot. The token engine cannot see moves — this is the
+///   dataflow half of the fixture pair in `tests/lint_fixtures.rs`.
+///
+/// A fabric `.send()` / `.multicast()` / `.post()` while any guard is
+/// live reports the most recently acquired one.
+fn guard_across_send(
+    ctx: &FileContext<'_>,
+    tree: &SourceFile,
+    spans: &[(u32, u32)],
+    out: &mut Vec<Diagnostic>,
+    sup: &mut Vec<SuppressedHit>,
+) {
+    struct Flow<'a, 'b> {
+        ctx: &'a FileContext<'a>,
+        spans: &'a [(u32, u32)],
+        out: &'b mut Vec<Diagnostic>,
+        sup: &'b mut Vec<SuppressedHit>,
+        guards: Vec<LiveGuard>,
+        depth: u32,
+    }
+    const SENDS: [&str; 3] = ["send", "multicast", "post"];
+
+    impl Flow<'_, '_> {
+        fn block(&mut self, b: &Block) {
+            self.depth += 1;
+            for stmt in &b.stmts {
+                match stmt {
+                    Stmt::Let(l) => self.let_stmt(l),
+                    Stmt::Expr(e) => self.expr(e),
+                    // Nested fns are separate frames: a guard of the
+                    // enclosing fn is not live inside them. They get
+                    // their own walk via `walk_items`.
+                    Stmt::Item(_) => {}
+                }
+            }
+            let depth = self.depth;
+            self.guards.retain(|g| g.scope < depth);
+            self.depth -= 1;
+        }
+
+        fn let_stmt(&mut self, l: &LetStmt) {
+            if let Some(name) = &l.name {
+                if guard_init(l.init.as_ref()).is_some() {
+                    // The initializer is the acquisition itself; the
+                    // token engine skips its tokens, so don't scan it
+                    // for sends either.
+                    self.guards.retain(|g| g.name != *name);
+                    self.guards.push(LiveGuard {
+                        name: name.clone(),
+                        line: l.line,
+                        scope: self.depth,
+                    });
+                    return;
+                }
+                // Move: `let other = g;` / `let _ = g;`.
+                if let Some(Expr::Path(p)) = &l.init {
+                    if p.segs.len() == 1 {
+                        if let Some(pos) = self.guards.iter().position(|g| g.name == p.segs[0].0) {
+                            let moved = self.guards.remove(pos);
+                            if name != "_" {
+                                // Re-scoped to the current block: it
+                                // dies where the new owner does.
+                                self.guards.push(LiveGuard {
+                                    name: name.clone(),
+                                    line: moved.line,
+                                    scope: self.depth,
+                                });
+                            }
+                            return;
+                        }
+                    }
+                }
+            }
+            if let Some(init) = &l.init {
+                self.expr(init);
+            }
+            if let Some(eb) = &l.else_block {
+                self.block(eb);
+            }
+        }
+
+        fn expr(&mut self, e: &Expr) {
+            match e {
+                Expr::MethodCall {
+                    recv, method, args, ..
+                } => {
+                    self.expr(recv);
+                    if SENDS.contains(&method.as_str()) && !self.guards.is_empty() {
+                        self.send(method, e.line());
+                    }
+                    for a in args {
+                        self.expr(a);
+                    }
+                }
+                Expr::Call { callee, args, .. } => {
+                    // `drop(g)` ends g's live-range.
+                    if let Expr::Path(p) = callee.as_ref() {
+                        if p.segs.len() == 1 && p.segs[0].0 == "drop" && args.len() == 1 {
+                            if let Expr::Path(arg) = &args[0] {
+                                if arg.segs.len() == 1 {
+                                    let name = arg.segs[0].0.clone();
+                                    self.guards.retain(|g| g.name != name);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    self.expr(callee);
+                    for a in args {
+                        self.expr(a);
+                    }
+                }
+                Expr::Block(b) => self.block(b),
+                Expr::If {
+                    cond, then, else_, ..
+                } => {
+                    self.expr(cond);
+                    self.block(then);
+                    if let Some(e2) = else_ {
+                        self.expr(e2);
+                    }
+                }
+                Expr::Match(m) => {
+                    self.expr(&m.scrutinee);
+                    for arm in &m.arms {
+                        self.expr(&arm.body);
+                    }
+                }
+                Expr::While { cond, body, .. } => {
+                    self.expr(cond);
+                    self.block(body);
+                }
+                Expr::For { iter, body, .. } => {
+                    self.expr(iter);
+                    self.block(body);
+                }
+                Expr::Loop { body, .. } => self.block(body),
+                Expr::Closure { body, .. } => self.expr(body),
+                Expr::Field { recv, .. } => self.expr(recv),
+                Expr::Index { recv, index, .. } => {
+                    self.expr(recv);
+                    self.expr(index);
+                }
+                Expr::StructLit { fields, .. } => {
+                    for (_, v) in fields {
+                        self.expr(v);
+                    }
+                }
+                Expr::MacroCall { args, .. } => {
+                    for a in args {
+                        self.expr(a);
+                    }
+                }
+                Expr::Ref { inner, .. } => self.expr(inner),
+                Expr::Seq { parts, .. } => {
+                    for p in parts {
+                        self.expr(p);
+                    }
+                }
+                Expr::Path(_) | Expr::Lit { .. } | Expr::Unknown { .. } => {}
+            }
+        }
+
+        fn send(&mut self, method: &str, line: u32) {
+            if in_spans(self.spans, line) {
+                return;
+            }
+            if self.ctx.lexed.allowed(GUARD_ACROSS_SEND, line) {
+                self.sup.push((line, GUARD_ACROSS_SEND));
+                return;
+            }
+            let g = self.guards.last().expect("non-empty");
+            self.out.push(Diagnostic {
+                file: self.ctx.rel_path.to_string(),
+                line,
+                rule: GUARD_ACROSS_SEND,
+                message: format!(
+                    "fabric `.{method}()` while lock guard `{}` (line {}) is held; \
+                     drop the guard first — a send under partition can block \
+                     and deadlock every thread queued on the lock",
+                    g.name, g.line
+                ),
+            });
+        }
+    }
+
+    let mut bodies: Vec<&Block> = Vec::new();
+    walk_items(&tree.items, &ItemCtx::default(), &mut |_ctx, item| {
+        if let Item::Fn(f) = item {
+            if let Some(body) = &f.body {
+                bodies.push(body);
+            }
+        }
+    });
+    let mut flow = Flow {
+        ctx,
+        spans,
+        out,
+        sup,
+        guards: Vec::new(),
+        depth: 0,
+    };
+    for body in bodies {
+        flow.guards.clear();
+        flow.depth = 0;
+        flow.block(body);
+    }
+}
+
+/// If a `let` initializer is a lock acquisition —
+/// `….lock()/.read()/.write()` (zero-arg), under at most two
+/// `.unwrap()` / `.expect(<literal>)` wrappers, the same shape the
+/// token engine's `guard_binding` accepts — returns the receiver of
+/// the lock call.
+pub(crate) fn guard_init(init: Option<&Expr>) -> Option<&Expr> {
+    let mut e = init?;
+    for _ in 0..2 {
+        match e {
+            Expr::MethodCall {
+                recv, method, args, ..
+            } if method == "unwrap" && args.is_empty() => e = recv,
+            Expr::MethodCall {
+                recv, method, args, ..
+            } if method == "expect" && args.len() == 1 && matches!(args[0], Expr::Lit { .. }) => {
+                e = recv
+            }
+            _ => break,
+        }
+    }
+    match e {
+        Expr::MethodCall {
+            recv, method, args, ..
+        } if args.is_empty() && matches!(method.as_str(), "lock" | "read" | "write") => Some(recv),
+        _ => None,
+    }
+}
+
+/// Parses a file and runs the tree rules — test convenience.
+#[cfg(test)]
+pub(crate) fn lint_source(
+    rel_path: &str,
+    src: &str,
+    deterministic: bool,
+    hash_names: &std::collections::BTreeSet<String>,
+) -> Vec<Diagnostic> {
+    let lexed = crate::lexer::lex(src);
+    let tree = crate::parse::parse(&lexed);
+    assert!(tree.errors.is_empty(), "parse errors: {:?}", tree.errors);
+    let ctx = FileContext {
+        rel_path,
+        raw: src,
+        lexed: &lexed,
+        deterministic,
+        model_mirror: false,
+        relaxed_allowlisted: false,
+        hash_names,
+        tla_actions: &std::collections::BTreeSet::new(),
+    };
+    lint_file_tree(&ctx, &tree, &mut Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn names(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn guard_moved_into_inner_block_does_not_fire() {
+        // The token engine false-positives here (see
+        // tests/lint_fixtures.rs); the dataflow must not.
+        let src = r#"
+fn f(fabric: &Fabric, state: &Mutex<u32>) {
+    let g = state.lock().unwrap();
+    {
+        let _owned = g;
+    }
+    fabric.send(1);
+}
+"#;
+        let diags = lint_source("crates/net/src/x.rs", src, true, &names(&[]));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn guard_let_underscore_drops() {
+        let src = r#"
+fn f(fabric: &Fabric, state: &Mutex<u32>) {
+    let g = state.lock().unwrap();
+    let _ = g;
+    fabric.send(1);
+}
+"#;
+        let diags = lint_source("crates/net/src/x.rs", src, true, &names(&[]));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn guard_move_keeps_liveness_in_same_scope() {
+        let src = r#"
+fn f(fabric: &Fabric, state: &Mutex<u32>) {
+    let g = state.lock().unwrap();
+    let held = g;
+    fabric.send(1);
+}
+"#;
+        let diags = lint_source("crates/net/src/x.rs", src, true, &names(&[]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 5);
+        assert!(diags[0].message.contains("`held`"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn match_arm_scope_ends_guard() {
+        let src = r#"
+fn f(fabric: &Fabric, state: &Mutex<u32>, x: u8) {
+    match x {
+        0 => {
+            let g = state.lock().unwrap();
+            *g += 1;
+        }
+        _ => {}
+    }
+    fabric.send(1);
+}
+"#;
+        let diags = lint_source("crates/net/src/x.rs", src, true, &names(&[]));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn send_in_closure_under_guard_fires() {
+        let src = r#"
+fn f(fabric: &Fabric, state: &Mutex<u32>) {
+    let g = state.lock().unwrap();
+    let run = || fabric.post(2);
+    run();
+}
+"#;
+        let diags = lint_source("crates/net/src/x.rs", src, true, &names(&[]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn use_line_entropy_fires_like_token_engine() {
+        let src = "use rand::thread_rng;\nfn f() { let x = 1; }\n";
+        let diags = lint_source("crates/net/src/x.rs", src, true, &names(&[]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[0].rule, AMBIENT_ENTROPY);
+    }
+
+    #[test]
+    fn hashmap_iteration_reports_receiver_name_line() {
+        let src = r#"
+struct S { pending: HashMap<u32, u32> }
+impl S {
+    fn f(&self) {
+        for (_k, _v) in self.pending.iter() {
+        }
+    }
+}
+"#;
+        let diags = lint_source("crates/net/src/x.rs", src, true, &names(&["pending"]));
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 5);
+        assert!(diags[0].message.contains("`.iter()`"));
+    }
+}

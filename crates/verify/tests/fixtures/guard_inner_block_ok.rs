@@ -1,0 +1,11 @@
+// Fixture: guard moved into an inner block and dropped there before
+// the send. The token engine cannot see the move and false-positives;
+// the tree engine's guard-liveness dataflow is authoritative.
+fn relay(state: &std::sync::Mutex<Vec<u8>>, ep: &Endpoint) {
+    let guard = state.lock().unwrap();
+    let copy = guard.clone();
+    {
+        let _held = guard; // the guard now lives — and dies — here
+    }
+    ep.send(1, copy); // clean in tree mode; `--token` flags this line
+}

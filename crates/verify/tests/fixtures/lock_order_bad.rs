@@ -1,0 +1,33 @@
+// Fixture: lock-order positive — two methods take the same pair of
+// locks in opposite orders (AB/BA cycle), and a helper re-acquires a
+// lock its caller already holds (self-cycle via `self.count()`).
+struct Hub {
+    conns: std::sync::Mutex<Vec<u8>>,
+    peers: std::sync::Mutex<Vec<u8>>,
+}
+
+impl Hub {
+    fn forward(&self) {
+        let c = self.conns.lock().unwrap();
+        let p = self.peers.lock().unwrap();
+        drop(p);
+        drop(c);
+    }
+
+    fn reverse(&self) {
+        let p = self.peers.lock().unwrap();
+        let c = self.conns.lock().unwrap();
+        drop(c);
+        drop(p);
+    }
+
+    fn reenter(&self) {
+        let c = self.conns.lock().unwrap();
+        self.count();
+        drop(c);
+    }
+
+    fn count(&self) -> usize {
+        self.conns.lock().unwrap().len()
+    }
+}

@@ -1,0 +1,34 @@
+// Fixture: lock-order negative — every path takes the locks in one
+// global order, and a guard that dies (inner block) before the next
+// acquisition creates no edge at all.
+struct Hub {
+    conns: std::sync::Mutex<Vec<u8>>,
+    peers: std::sync::Mutex<Vec<u8>>,
+}
+
+impl Hub {
+    fn forward(&self) {
+        let c = self.conns.lock().unwrap();
+        let p = self.peers.lock().unwrap();
+        drop(p);
+        drop(c);
+    }
+
+    fn also_forward(&self) {
+        let c = self.conns.lock().unwrap();
+        let p = self.peers.lock().unwrap();
+        drop(p);
+        drop(c);
+    }
+
+    fn sequential(&self) {
+        // peers is released before conns is taken: no peers -> conns
+        // edge, so no cycle against `forward`'s conns -> peers.
+        {
+            let p = self.peers.lock().unwrap();
+            drop(p);
+        }
+        let c = self.conns.lock().unwrap();
+        drop(c);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: payload-copy positive — deep copies of `Payload`-typed
+// values through a field, a parameter, and a local binding.
+pub struct Frame {
+    pub body: Payload,
+}
+
+pub fn relay(frame: &Frame) -> Vec<u8> {
+    frame.body.to_vec()
+}
+
+pub fn copy_param(p: Payload) -> Vec<u8> {
+    Vec::from(p)
+}
+
+pub fn copy_let(frame: &Frame) -> Vec<u8> {
+    let staged = frame.body.clone();
+    staged.to_vec()
+}

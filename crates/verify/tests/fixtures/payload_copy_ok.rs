@@ -1,0 +1,28 @@
+// Fixture: payload-copy negative — refcount bumps, borrows, and
+// copies of non-Payload data are all fine; test code is exempt.
+pub struct Frame {
+    pub body: Payload,
+}
+
+pub fn share(frame: &Frame) -> Payload {
+    frame.body.clone()
+}
+
+pub fn peek(frame: &Frame) -> usize {
+    frame.body.as_slice().len()
+}
+
+pub fn copy_other(names: &[u8]) -> Vec<u8> {
+    names.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn copies_are_fine_in_tests() {
+        let f = super::Frame {
+            body: Payload::default(),
+        };
+        let _ = f.body.to_vec();
+    }
+}

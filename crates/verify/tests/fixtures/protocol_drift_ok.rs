@@ -1,0 +1,32 @@
+// Fixture: protocol-drift negative — enum, tag table, and matches all
+// agree; a single-variant accessor with a wildcard arm is
+// if-let-shaped and exempt from the wildcard finding.
+pub enum Msg {
+    Put { key: u64 },
+    Get { key: u64 },
+}
+
+pub const MSG_PUT: u8 = 1;
+pub const MSG_GET: u8 = 2;
+
+pub fn dispatch(m: &Msg) {
+    match m {
+        Msg::Put { .. } => {}
+        Msg::Get { .. } => {}
+    }
+}
+
+pub fn key_of(m: &Msg) -> Option<u64> {
+    match m {
+        Msg::Put { key } => Some(*key),
+        _ => None,
+    }
+}
+
+pub fn decode(tag: u8) {
+    match tag {
+        MSG_PUT => {}
+        MSG_GET => {}
+        _ => {}
+    }
+}

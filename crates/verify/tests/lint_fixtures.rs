@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 use std::path::Path;
 
-use ring_verify::{rules, Workspace};
+use ring_verify::{rules, Mode, Workspace};
 
 /// Lints one fixture as deterministic-path code and returns
 /// `(line, rule)` pairs, asserting every diagnostic names the fixture.
@@ -306,4 +306,209 @@ fn binary_reports_json_and_exit_code() {
         .expect("ring-lint runs");
     assert_eq!(out.status.code(), Some(0), "clean run exits 0");
     assert_eq!(String::from_utf8(out.stdout).expect("utf8"), "[]\n");
+}
+
+// ---------------------------------------------------------------------
+// Tree-engine workspace passes: lock-order, protocol-drift,
+// payload-copy. Each positive fixture seeds the bug; assertions pin
+// the exact anchor lines.
+// ---------------------------------------------------------------------
+
+#[test]
+fn lock_order_positive() {
+    // Line 19: `reverse` takes conns while holding peers — the edge
+    // that closes the AB/BA cycle against `forward`. Line 26: the
+    // `self.count()` call re-acquiring conns under conns.
+    assert_eq!(
+        lint_fixture("lock_order_bad.rs", None),
+        vec![(19, rules::LOCK_ORDER), (26, rules::LOCK_ORDER)]
+    );
+}
+
+#[test]
+fn lock_order_negative() {
+    // Consistent order everywhere; a guard that dies in an inner block
+    // before the next acquisition creates no edge.
+    assert_eq!(lint_fixture("lock_order_ok.rs", None), vec![]);
+}
+
+#[test]
+fn protocol_drift_positive() {
+    // 6: Msg::Ack has no MSG_ACK. 10/11: MSG_GET and MSG_EVICT share
+    // value 2, and MSG_EVICT names no variant. 14: dispatch hides Ack
+    // behind `_`. 22: decode handles 1/3 known tags.
+    assert_eq!(
+        lint_fixture("protocol_drift_bad.rs", None),
+        vec![
+            (6, rules::PROTOCOL_DRIFT),
+            (10, rules::PROTOCOL_DRIFT),
+            (11, rules::PROTOCOL_DRIFT),
+            (14, rules::PROTOCOL_DRIFT),
+            (22, rules::PROTOCOL_DRIFT)
+        ]
+    );
+}
+
+#[test]
+fn protocol_drift_negative() {
+    // Enum/tags/matches agree; the single-variant accessor with a
+    // wildcard arm (if-let-shaped) is exempt.
+    assert_eq!(lint_fixture("protocol_drift_ok.rs", None), vec![]);
+}
+
+#[test]
+fn payload_copy_positive() {
+    // A field copy, a `Vec::from` on a param, and a copy through a
+    // payload-initialized let.
+    assert_eq!(
+        lint_fixture("payload_copy_bad.rs", None),
+        vec![
+            (8, rules::PAYLOAD_COPY),
+            (12, rules::PAYLOAD_COPY),
+            (17, rules::PAYLOAD_COPY)
+        ]
+    );
+}
+
+#[test]
+fn payload_copy_negative() {
+    // `.clone()` (refcount bump), `as_slice()`, non-Payload `.to_vec`,
+    // and test-module copies all pass.
+    assert_eq!(lint_fixture("payload_copy_ok.rs", None), vec![]);
+}
+
+// ---------------------------------------------------------------------
+// Engine parity: the six legacy rules must agree diagnostic-for-
+// diagnostic between the token and tree engines — with one documented
+// exception where the tree engine's dataflow is strictly better.
+// ---------------------------------------------------------------------
+
+/// Like `lint_fixture`, but in a chosen engine mode.
+fn lint_fixture_in(mode: Mode, name: &str, allowlist: Option<&str>) -> Vec<(u32, &'static str)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let rel = format!("tests/fixtures/{name}");
+    let allow = match allowlist {
+        Some(a) => rules::load_relaxed_allowlist(&root.join("tests/fixtures").join(a))
+            .expect("fixture allowlist readable"),
+        None => BTreeSet::new(),
+    };
+    let ws = Workspace::explicit(root, vec![rel.clone()], true, allow).with_mode(mode);
+    let diags = ws.lint().expect("fixture readable");
+    diags.into_iter().map(|d| (d.line, d.rule)).collect()
+}
+
+/// The per-file fixtures produce byte-identical results in both
+/// engines (the tree-only workspace passes fire on none of them).
+#[test]
+fn token_and_tree_engines_agree_on_fixtures() {
+    for (name, allowlist) in [
+        ("ambient_time_bad.rs", None),
+        ("ambient_time_ok.rs", None),
+        ("ambient_entropy_bad.rs", None),
+        ("ambient_entropy_ok.rs", None),
+        ("guard_across_send_bad.rs", None),
+        ("guard_across_send_ok.rs", None),
+        ("relaxed_ordering_bad.rs", None),
+        ("relaxed_ordering_ok.rs", Some("allowlist.txt")),
+        ("hashmap_iteration_bad.rs", None),
+        ("hashmap_iteration_ok.rs", None),
+        ("wire_codec_bad.rs", None),
+        ("server_harness_ok.rs", None),
+    ] {
+        assert_eq!(
+            lint_fixture_in(Mode::Tree, name, allowlist),
+            lint_fixture_in(Mode::Token, name, allowlist),
+            "engines disagree on {name}"
+        );
+    }
+}
+
+/// The one sanctioned divergence: a guard *moved* into an inner block
+/// dies there, which the brace-depth token heuristic cannot see. The
+/// tree engine's liveness dataflow is authoritative; the token engine
+/// false-positives. This test documents (and pins) both behaviors.
+#[test]
+fn guard_inner_block_tree_clean_token_false_positive() {
+    assert_eq!(
+        lint_fixture_in(Mode::Tree, "guard_inner_block_ok.rs", None),
+        vec![]
+    );
+    assert_eq!(
+        lint_fixture_in(Mode::Token, "guard_inner_block_ok.rs", None),
+        vec![(10, rules::GUARD_ACROSS_SEND)]
+    );
+}
+
+/// Full-workspace parity on the live tree: both engines, filtered to
+/// the six legacy rules, must produce identical diagnostics. CI runs
+/// this as its token-vs-tree parity gate.
+#[test]
+fn token_and_tree_engines_agree_on_live_workspace() {
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("repo root");
+    let legacy: BTreeSet<&str> = [
+        rules::AMBIENT_TIME,
+        rules::AMBIENT_ENTROPY,
+        rules::GUARD_ACROSS_SEND,
+        rules::RELAXED_ORDERING,
+        rules::HASHMAP_ITERATION,
+        rules::MODEL_DRIFT,
+    ]
+    .into_iter()
+    .collect();
+    let run = |mode: Mode| -> Vec<(String, u32, &'static str)> {
+        Workspace::discover(repo_root)
+            .expect("discover")
+            .with_mode(mode)
+            .lint()
+            .expect("lint")
+            .into_iter()
+            .filter(|d| legacy.contains(d.rule))
+            .map(|d| (d.file, d.line, d.rule))
+            .collect()
+    };
+    assert_eq!(run(Mode::Tree), run(Mode::Token));
+}
+
+// ---------------------------------------------------------------------
+// Binary exit codes: 1 = findings, 2 = internal (parse) error.
+// ---------------------------------------------------------------------
+
+/// A structurally damaged file is exit 2 with a parse report — not a
+/// silent "clean" and not a finding.
+#[test]
+fn binary_parse_error_exits_2() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ring-lint"))
+        .current_dir(root)
+        .args([
+            "--det",
+            "--root",
+            ".",
+            "tests/fixtures/parse_error.rs.broken",
+        ])
+        .output()
+        .expect("ring-lint runs");
+    assert_eq!(out.status.code(), Some(2), "parse failure exits 2");
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        err.contains("failed to parse") && err.contains("parse_error.rs.broken"),
+        "stderr names the unparseable file: {err}"
+    );
+    // The token engine never parses, so the same file lints (exit 0):
+    // `--token` is the escape hatch if the parser itself regresses.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_ring-lint"))
+        .current_dir(root)
+        .args([
+            "--token",
+            "--det",
+            "--root",
+            ".",
+            "tests/fixtures/parse_error.rs.broken",
+        ])
+        .output()
+        .expect("ring-lint runs");
+    assert_eq!(out.status.code(), Some(0), "token engine skips parsing");
 }

@@ -397,8 +397,6 @@ pub fn encode_msg(msg: &Msg, out: &mut FrameBuf) {
             out.put_u64(*shard as u64);
             put_meta_entries(out, entries);
             out.put_u32(values.len() as u32);
-            // This `values` is a Vec parallel to `entries`, not a map.
-            // ring-lint: allow(hashmap-iteration)
             for v in values {
                 put_opt_payload(out, v);
             }
